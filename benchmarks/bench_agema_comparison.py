@@ -1,0 +1,69 @@
+"""X2 — HADES-generated adders vs the AGEMA baseline (Section III-A).
+
+Paper: "HADES produces adders which outperform those generated with
+AGEMA, which applies straight-forward post-processing to synthesized
+netlists."  The bench masks every adder in the 31-configuration family
+at d=1 and d=2 with both flows and regenerates the comparison.
+"""
+
+import pytest
+
+from repro.hades import DesignContext, agema_adder, enumerate_designs
+from repro.hades.library import adder_family
+
+from conftest import write_table
+
+_rows = {}
+
+
+@pytest.mark.parametrize("order", [1, 2])
+def test_family_comparison(benchmark, order):
+    context = DesignContext(masking_order=order, width=32)
+
+    def run():
+        comparisons = []
+        for template in adder_family():
+            for design in enumerate_designs(template, context):
+                params = dict(design.configuration.params)
+                baseline = agema_adder(template.name, params, context)
+                comparisons.append((design, baseline))
+        return comparisons
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(comparisons) == 31
+    _rows[order] = comparisons
+    for design, baseline in comparisons:
+        assert design.metrics.area_kge < baseline.metrics.area_kge
+        assert design.metrics.latency_cc <= baseline.metrics.latency_cc
+        assert design.metrics.randomness_bits <= \
+            baseline.metrics.randomness_bits
+
+
+def test_report_agema(benchmark, report_dir):
+    def build():
+        rows = []
+        for order, comparisons in sorted(_rows.items()):
+            area_savings = []
+            rand_savings = []
+            for design, baseline in comparisons:
+                area_savings.append(
+                    1 - design.metrics.area_kge
+                    / baseline.metrics.area_kge)
+                rand_savings.append(
+                    1 - design.metrics.randomness_bits
+                    / baseline.metrics.randomness_bits)
+            rows.append([
+                f"d={order}", len(comparisons),
+                f"{min(area_savings):.1%}..{max(area_savings):.1%}",
+                f"{sum(area_savings)/len(area_savings):.1%}",
+                f"{sum(rand_savings)/len(rand_savings):.1%}"])
+        write_table(report_dir, "agema",
+                    "HADES vs AGEMA on the 31-adder family "
+                    "(savings of HADES over the baseline)",
+                    ["order", "designs", "area savings range",
+                     "mean area savings", "mean randomness savings"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 2

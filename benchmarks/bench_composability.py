@@ -1,0 +1,80 @@
+"""X4 — composability and its cost (Section III-E).
+
+Two measurements: (a) the composability property itself — an
+application's cycle-accurate timeline is invariant to co-runners under
+TDM and diverges under the work-conserving baselines; (b) "a drawback
+of composable execution [is] the additional processing overhead" — the
+TDM makespan penalty versus round-robin and FCFS.
+"""
+
+import pytest
+
+from repro.compsoc import (measure_overhead, periodic_workload,
+                           verify_composability)
+
+from conftest import write_table
+
+_results = {}
+
+
+def _app():
+    return periodic_workload("app", compute_ticks=3, requests=12,
+                             base_address=0x1000_0000)
+
+
+def _hog(name="hog", base=0x1010_0000):
+    return periodic_workload(name, compute_ticks=0, requests=200,
+                             base_address=base)
+
+
+CORUNNER_SETS = [[_hog],
+                 [_hog, lambda: _hog("hog2", 0x1020_0000)],
+                 [_hog, lambda: _hog("hog2", 0x1020_0000),
+                  lambda: _hog("hog3", 0x1030_0000)]]
+
+
+@pytest.mark.parametrize("policy", ["tdm", "round_robin", "fcfs"])
+def test_composability_per_policy(benchmark, policy):
+    report = benchmark.pedantic(
+        lambda: verify_composability(policy, _app, CORUNNER_SETS),
+        rounds=1, iterations=1)
+    _results[policy] = report
+    if policy == "tdm":
+        assert report.composable
+    else:
+        assert not report.composable
+
+
+def test_overhead(benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_overhead([_app, _hog,
+                                  lambda: _hog("hog2", 0x1020_0000)]),
+        rounds=1, iterations=1)
+    _results["overhead"] = report
+    assert report.tdm_overhead_vs_best > 0
+
+
+def test_report_composability(benchmark, report_dir):
+    def build():
+        rows = []
+        for policy in ("tdm", "round_robin", "fcfs"):
+            report = _results[policy]
+            rows.append([policy,
+                         "yes" if report.composable else "no",
+                         len(report.divergent_runs)])
+        write_table(report_dir, "composability",
+                    "Composability: is the app timeline invariant to "
+                    "co-runners?",
+                    ["policy", "composable", "divergent runs"], rows)
+        overhead = _results["overhead"]
+        overhead_rows = [[policy, cycles] for policy, cycles
+                         in sorted(overhead.makespans.items())]
+        overhead_rows.append(["tdm overhead vs best",
+                              f"{overhead.tdm_overhead_vs_best:.1%}"])
+        write_table(report_dir, "composability_overhead",
+                    "Composability overhead: makespan per policy",
+                    ["policy", "makespan cycles"], overhead_rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 3

@@ -1,0 +1,124 @@
+"""X5 — cost of the cryptographic primitives (Section II-C context).
+
+The paper's challenge statement: "Post-Quantum Cryptography (PQC) ...
+has significantly larger resource requirements than classic asymmetric
+schemes."  The bench quantifies that on this reproduction's own
+implementations: sizes and operation timings of Ed25519 vs ML-DSA-44
+(and the larger parameter sets), plus the symmetric substrate.
+"""
+
+import pytest
+
+from repro.crypto import (AES, Ed25519KeyPair, HybridKeyPair, MLDSA,
+                          MLKEM, ML_DSA_44, ML_DSA_65, ML_DSA_87,
+                          ML_KEM_512, ML_KEM_768, ML_KEM_1024,
+                          seal_aead, sha3_256)
+from repro.crypto import ed25519 as ed
+
+from conftest import write_table
+
+_sizes = {}
+
+_ED = Ed25519KeyPair(bytes(32))
+_SCHEMES = {p.name: MLDSA(p) for p in (ML_DSA_44, ML_DSA_65, ML_DSA_87)}
+_KEYS = {name: scheme.key_gen(bytes(32))
+         for name, scheme in _SCHEMES.items()}
+_SIGS = {name: scheme.sign(_KEYS[name][1], b"attestation")
+         for name, scheme in _SCHEMES.items()}
+
+
+def test_ed25519_sign(benchmark):
+    signature = benchmark(lambda: _ED.sign(b"attestation"))
+    _sizes["Ed25519"] = (32, 64)
+    assert len(signature) == 64
+
+
+def test_ed25519_verify(benchmark):
+    signature = _ED.sign(b"attestation")
+    assert benchmark(lambda: ed.verify(_ED.public, b"attestation",
+                                       signature))
+
+
+@pytest.mark.parametrize("name", sorted(_SCHEMES))
+def test_mldsa_sign(benchmark, name):
+    scheme = _SCHEMES[name]
+    _, secret = _KEYS[name]
+    signature = benchmark(lambda: scheme.sign(secret, b"attestation"))
+    _sizes[name] = (scheme.params.public_key_bytes,
+                    scheme.params.signature_bytes)
+    assert len(signature) == scheme.params.signature_bytes
+
+
+@pytest.mark.parametrize("name", sorted(_SCHEMES))
+def test_mldsa_verify(benchmark, name):
+    scheme = _SCHEMES[name]
+    public, _ = _KEYS[name]
+    assert benchmark(lambda: scheme.verify(public, b"attestation",
+                                           _SIGS[name]))
+
+
+_KEMS = {p.name: MLKEM(p) for p in (ML_KEM_512, ML_KEM_768,
+                                    ML_KEM_1024)}
+_KEM_KEYS = {name: kem.key_gen(bytes(32), bytes(32))
+             for name, kem in _KEMS.items()}
+
+
+@pytest.mark.parametrize("name", sorted(_KEMS))
+def test_mlkem_encaps(benchmark, name):
+    kem = _KEMS[name]
+    ek, _ = _KEM_KEYS[name]
+    key, ciphertext = benchmark(lambda: kem.encaps(ek, bytes(32)))
+    assert len(ciphertext) == kem.params.ciphertext_bytes
+    _sizes[name] = (kem.params.ek_bytes, kem.params.ciphertext_bytes)
+
+
+@pytest.mark.parametrize("name", sorted(_KEMS))
+def test_mlkem_decaps(benchmark, name):
+    kem = _KEMS[name]
+    ek, dk = _KEM_KEYS[name]
+    key, ciphertext = kem.encaps(ek, bytes(32))
+    assert benchmark(lambda: kem.decaps(dk, ciphertext)) == key
+
+
+def test_hybrid_sign(benchmark):
+    pair = HybridKeyPair(bytes(32), bytes(32))
+    signature = benchmark(lambda: pair.sign(b"attestation"))
+    assert len(signature) == 64 + 2420
+
+
+def test_aes256_block(benchmark):
+    cipher = AES(bytes(32))
+    benchmark(lambda: cipher.encrypt_block(bytes(16)))
+
+
+def test_sealing(benchmark):
+    key, nonce = bytes(32), bytes(12)
+    payload = bytes(4096)
+    benchmark(lambda: seal_aead(key, nonce, payload))
+
+
+def test_sha3(benchmark):
+    benchmark(lambda: sha3_256(bytes(1024)))
+
+
+def test_report_sizes(benchmark, report_dir):
+    def build():
+        rows = []
+        for name in ("Ed25519", "ML-DSA-44", "ML-DSA-65", "ML-DSA-87"):
+            public, signature = _sizes[name]
+            rows.append([name, public, signature])
+        rows.append(["hybrid (Ed25519+ML-DSA-44)", 32 + 1312,
+                     64 + 2420])
+        for name in ("ML-KEM-512", "ML-KEM-768", "ML-KEM-1024"):
+            ek, ciphertext = _sizes[name]
+            rows.append([f"{name} (KEM: ek/ct)", ek, ciphertext])
+        write_table(report_dir, "crypto_sizes",
+                    "Classic vs PQ material sizes (bytes; signatures "
+                    "and KEM)",
+                    ["scheme", "public key", "signature/ciphertext"],
+                    rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    # PQC >> classical, the paper's resource-requirements point.
+    assert _sizes["ML-DSA-44"][1] > 30 * _sizes["Ed25519"][1]

@@ -1,0 +1,90 @@
+"""X10 — independent verification of dataflow applications.
+
+Section III-E: "Since tasks executed in composable architectures are
+protected from interference ... verification for each application can
+be done in isolation."  The bench makes that concrete with an SDF
+pipeline: its worst-case iteration period is computed from VEP-local
+quantities only, and the observed period stays within the bound under
+0, 1 and 3 saturating co-runners — while the same application on a
+work-conserving platform blows through the bound.
+"""
+
+import pytest
+
+from repro.compsoc import (ComposablePlatform, SdfGraph,
+                           iteration_period_bound,
+                           measure_iteration_periods, periodic_workload)
+
+from conftest import write_table
+
+_results = {}
+
+
+def _graph():
+    graph = SdfGraph("vision-pipeline")
+    graph.add_actor("capture", wcet=3, memory_accesses=2)
+    graph.add_actor("detect", wcet=6, memory_accesses=2)
+    graph.add_actor("encode", wcet=2, memory_accesses=1)
+    graph.connect("capture", "detect")
+    graph.connect("detect", "encode")
+    return graph
+
+
+def _run(policy, corunners, vep_count=4):
+    platform = ComposablePlatform(policy)
+    vep = platform.create_vep("v0")
+    for index in range(vep_count - 1):
+        other = platform.create_vep(f"v{index + 1}")
+        if index < corunners:
+            other.attach(periodic_workload(
+                f"hog{index}", 0, 600, other.memory.base))
+    graph = _graph()
+    # The bound the application was *verified* against: the 4-VEP TDM
+    # platform it was provisioned for.
+    tdm_reference = ComposablePlatform("tdm")
+    for index in range(4):
+        tdm_reference.create_vep(f"v{index}")
+    bound = iteration_period_bound(graph, tdm_reference)
+    periods = measure_iteration_periods(graph, platform, vep,
+                                        iterations=5)
+    return bound, periods
+
+
+@pytest.mark.parametrize("corunners", [0, 1, 3])
+def test_tdm_bound_holds(benchmark, corunners):
+    bound, periods = benchmark.pedantic(
+        lambda: _run("tdm", corunners), rounds=1, iterations=1)
+    _results[("tdm", corunners)] = (bound, max(periods))
+    assert all(p <= bound for p in periods)
+
+
+def test_fcfs_violates_bound_under_load(benchmark):
+    """The verified-for-TDM application deployed on a work-conserving
+    platform with a heavier co-runner population: the bound, which no
+    longer has a composability guarantee behind it, is blown."""
+    bound, periods = benchmark.pedantic(
+        lambda: _run("fcfs", 8, vep_count=9), rounds=1, iterations=1)
+    _results[("fcfs", 8)] = (bound, max(periods))
+    assert max(periods) > bound
+
+
+def test_report_dataflow(benchmark, report_dir):
+    def build():
+        rows = []
+        for (policy, corunners), (bound, worst) in sorted(
+                _results.items()):
+            rows.append([policy, corunners, bound, worst,
+                         "holds" if worst <= bound else "VIOLATED"])
+        write_table(report_dir, "dataflow_bounds",
+                    "SDF worst-case iteration period: analysis bound "
+                    "vs observed",
+                    ["policy", "co-runners", "analysis bound",
+                     "worst observed", "verdict"], rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 4
+    # TDM: observed worst case is identical across co-runner counts
+    # (composability) and within the bound.
+    tdm_values = {_results[("tdm", c)][1] for c in (0, 1, 3)}
+    assert len(tdm_values) == 1

@@ -1,0 +1,89 @@
+"""Fig. 1 — phase 1 of the CIM attack: k-means clustering of per-weight
+power traces into Hamming-weight classes.
+
+The paper's figure shows "a clear correlation between the HW of a
+weight and its power consumption pattern during adder tree operations"
+with the k-means algorithm grouping the traces into distinct clusters.
+The bench regenerates that data: per-weight mean power, cluster
+assignment, and clustering accuracy (noise-free and noisy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim import (DigitalCimMacro, PowerModel,
+                       WeightExtractionAttack, hamming_weight)
+
+from conftest import write_table
+
+_results = {}
+
+
+def _weights(seed=11, count=16):
+    rng = np.random.default_rng(seed)
+    weights = [int(w) for w in rng.integers(0, 16, count)]
+    weights[0], weights[1] = 0, 15
+    return weights
+
+
+def test_phase1_noise_free(benchmark):
+    weights = _weights()
+    attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                    PowerModel(0.0), repetitions=1)
+    result = benchmark.pedantic(lambda: attack.phase1_cluster(),
+                                rounds=1, iterations=1)
+    assert result.accuracy(weights) == 1.0
+    _results["noise_free"] = (weights, result)
+
+
+@pytest.mark.parametrize("sigma", [0.25, 0.5, 1.0])
+def test_phase1_noise_sweep(benchmark, sigma):
+    weights = _weights()
+    attack = WeightExtractionAttack(
+        DigitalCimMacro(weights), PowerModel(sigma, seed=3),
+        repetitions=50)
+    result = benchmark.pedantic(lambda: attack.phase1_cluster(),
+                                rounds=1, iterations=1)
+    _results[f"sigma_{sigma}"] = result.accuracy(weights)
+    assert result.accuracy(weights) >= 0.8
+
+
+def test_report_fig1(benchmark, report_dir):
+    def build():
+        weights, result = _results["noise_free"]
+        rows = []
+        for index, weight in enumerate(weights):
+            rows.append([index, weight, hamming_weight(weight),
+                         f"{result.mean_powers[index]:.1f}",
+                         result.cluster_labels[index],
+                         result.hw_estimates[index]])
+        write_table(report_dir, "fig1",
+                    "Fig. 1: phase-1 clustering (per-weight power -> "
+                    "HW cluster)",
+                    ["idx", "weight", "true HW", "mean power",
+                     "cluster", "estimated HW"], rows)
+        noise_rows = [[key, f"{value:.2f}"]
+                      for key, value in sorted(_results.items())
+                      if key.startswith("sigma_")]
+        write_table(report_dir, "fig1_noise",
+                    "Fig. 1 extension: clustering accuracy vs noise",
+                    ["noise sigma", "accuracy"], noise_rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    # The figure's claim: clusters == HW classes, power strictly
+    # ordered by HW.
+    weights, result = _results["noise_free"]
+    by_hw = {}
+    for index, weight in enumerate(weights):
+        by_hw.setdefault(hamming_weight(weight), set()).add(
+            result.cluster_labels[index])
+    for hw, clusters in by_hw.items():
+        assert len(clusters) == 1, "one cluster per HW class"
+    mean_by_hw = sorted(
+        (hw, np.mean([result.mean_powers[i]
+                      for i, w in enumerate(weights)
+                      if hamming_weight(w) == hw]))
+        for hw in by_hw)
+    powers = [p for _, p in mean_by_hw]
+    assert powers == sorted(powers)

@@ -1,0 +1,61 @@
+"""X6 — the security-by-design framework derivation (Section II).
+
+For each of the four CONVOLVE use cases the framework derives a
+concrete architecture from the worst-case adversary model; the bench
+regenerates the feature matrix and the per-use-case overhead — the
+"shed any unnecessary overhead" claim made measurable (the satellite
+use case drops every side-channel countermeasure).
+"""
+
+import pytest
+
+from repro.core import (ALL_USE_CASES, SecurityFramework,
+                        default_catalog)
+
+from conftest import write_table
+
+_architectures = {}
+
+
+@pytest.mark.parametrize("factory", ALL_USE_CASES,
+                         ids=[f().name for f in ALL_USE_CASES])
+def test_derivation(benchmark, factory):
+    framework = SecurityFramework()
+    profile = factory()
+    architecture = benchmark(lambda: framework.derive(profile))
+    assert architecture.verify(framework.catalog)
+    _architectures[profile.name] = architecture
+
+
+def test_report_framework(benchmark, report_dir):
+    def build():
+        catalog = default_catalog()
+        names = sorted(catalog)
+        use_cases = sorted(_architectures)
+        rows = []
+        for feature in names:
+            row = [feature]
+            for use_case in use_cases:
+                row.append("x" if feature in
+                           _architectures[use_case].feature_names
+                           else "")
+            rows.append(row)
+        overhead_row = ["-- energy factor --"]
+        for use_case in use_cases:
+            overhead = _architectures[use_case].total_overhead()
+            overhead_row.append(f"{overhead.energy_factor:.2f}")
+        rows.append(overhead_row)
+        write_table(report_dir, "framework",
+                    "Derived security architectures per use case",
+                    ["feature"] + use_cases, rows)
+        return rows
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    satellite = _architectures["satellite-imagery"]
+    consumer = _architectures["speech-quality-enhancement"]
+    # The tailoring claim: no side-channel hardening in orbit, strictly
+    # lower overhead than the consumer profile.
+    assert "masked_crypto_hw" not in satellite.feature_names
+    assert "cim_masking" not in satellite.feature_names
+    assert satellite.total_overhead().energy_factor < \
+        consumer.total_overhead().energy_factor

@@ -1,0 +1,76 @@
+"""X12 — the Keccak hardware case study (Section III-A).
+
+"In CONVOLVE, we also realize Keccak in hardware as it is an important
+subroutine of BIKE, CRYSTALS-Dilithium and can be used by the TEE for
+signing as well.  The corresponding case study can be found in the
+original HADES paper."  This bench regenerates that case study on our
+template: the full 14-point space explored at masking orders 0-2, the
+Pareto front extracted per order, and the TEE-relevant observation
+(the fully serial design is ~20x smaller than the unrolled one, which
+is why the SoC can afford a Keccak accelerator at all).
+"""
+
+import pytest
+
+from repro.hades import (DesignContext, ExhaustiveExplorer,
+                         OptimizationGoal, enumerate_designs,
+                         pareto_front)
+from repro.hades.library import keccak
+
+from conftest import write_table
+
+_results = {}
+
+
+@pytest.mark.parametrize("order", [0, 1, 2])
+def test_keccak_space_per_order(benchmark, order):
+    context = DesignContext(masking_order=order)
+
+    def run():
+        designs = list(enumerate_designs(keccak(), context))
+        return designs, pareto_front(designs)
+
+    designs, front = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(designs) == 14
+    _results[order] = (designs, front)
+
+
+def test_report_keccak(benchmark, report_dir):
+    def build():
+        rows = []
+        for order, (designs, front) in sorted(_results.items()):
+            explorer_goals = {}
+            for goal in (OptimizationGoal.AREA,
+                         OptimizationGoal.LATENCY):
+                result = ExhaustiveExplorer(
+                    keccak(),
+                    DesignContext(masking_order=order)).run(goal)
+                metrics = result.best.metrics
+                explorer_goals[goal.value] = metrics
+            area = explorer_goals["A"]
+            latency = explorer_goals["L"]
+            rows.append([
+                order, len(front),
+                f"{area.area_kge:.1f} kGE @ {area.latency_cc:.0f} cc",
+                f"{latency.area_kge:.1f} kGE @ "
+                f"{latency.latency_cc:.0f} cc",
+                f"{area.randomness_bits:.0f}/"
+                f"{latency.randomness_bits:.0f}"])
+        write_table(report_dir, "keccak_case_study",
+                    "Keccak-f[1600] case study: optima per masking "
+                    "order",
+                    ["d", "pareto size", "area-opt", "latency-opt",
+                     "rand bits (A/L)"], rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 3
+    # TEE-relevant shape: the serial design is far smaller than the
+    # unrolled one, and masked randomness scales with chi's AND count.
+    designs0, _ = _results[0]
+    areas = sorted(d.metrics.area_kge for d in designs0)
+    assert areas[-1] > 15 * areas[0]
+    designs1, _ = _results[1]
+    rand_values = {d.metrics.randomness_bits for d in designs1}
+    assert 1600 in rand_values       # full-width, unroll 1
+    assert 25 in rand_values         # slice-serial, width 1: 1600/64

@@ -1,0 +1,42 @@
+"""X11 — the real-time + TEE integration matrix (Section II-C).
+
+The paper's argument for a customized solution, as a measured table:
+each nesting strategy is executed and scored on both properties.
+"""
+
+import pytest
+
+from repro.tee import evaluate_realtime_tee
+
+from conftest import write_table
+
+_outcomes = []
+
+
+def test_integration_matrix(benchmark):
+    outcomes = benchmark.pedantic(evaluate_realtime_tee, rounds=1,
+                                  iterations=1)
+    _outcomes.extend(outcomes)
+    viable = [o for o in outcomes if o.viable]
+    assert len(viable) == 1
+    assert viable[0].name == "CONVOLVE integration"
+
+
+def test_report_realtime_tee(benchmark, report_dir):
+    def build():
+        rows = []
+        for outcome in _outcomes:
+            rows.append([
+                outcome.name,
+                "kept" if outcome.security_preserved else "BROKEN",
+                "met" if outcome.deadlines_met else "MISSED",
+                "yes" if outcome.viable else "no"])
+        write_table(report_dir, "realtime_tee",
+                    "Real-time + TEE: naive nestings vs the customized "
+                    "integration",
+                    ["configuration", "security", "deadlines",
+                     "viable"], rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == 3

@@ -1,0 +1,99 @@
+"""Table II — AES-256 design points by optimization goal and masking
+order.
+
+Paper values (area kGE / randomness bits / latency cc):
+
+    d=0  L/ALP  41.4 / 0 / 19          A      12.9 / 0 / 1378
+    d=1  L      1205.3 / 16200 / 71    A      29.9 / 144 / 2948
+         R/ALRP 32.2 / 68 / 4514       ALP    142.8 / 1224 / 75
+    d=2  L      2321.1 / 48588 / 71    A      49.1 / 408 / 2946
+         R/ALRP 58.2 / 204 / 4514      ALP    252.7 / 3660 / 75
+
+The bench regenerates the table by running the exhaustive DSE on the
+AES-256 template per (order, goal) and asserts the headline shape:
+latencies match the paper exactly, randomness within a few percent,
+areas within the calibration tolerance with the correct ordering.
+"""
+
+import pytest
+
+from repro.hades import DesignContext, ExhaustiveExplorer, \
+    OptimizationGoal as G
+from repro.hades.library import aes256
+
+from conftest import write_table
+
+PAPER = {
+    (0, "L"): (41.4, 0, 19),
+    (0, "A"): (12.9, 0, 1378),
+    (1, "L"): (1205.3, 16200, 71),
+    (1, "A"): (29.9, 144, 2948),
+    (1, "R"): (32.2, 68, 4514),
+    (1, "ALP"): (142.8, 1224, 75),
+    (2, "L"): (2321.1, 48588, 71),
+    (2, "A"): (49.1, 408, 2946),
+    (2, "R"): (58.2, 204, 4514),
+    (2, "ALP"): (252.7, 3660, 75),
+}
+
+GOALS = {"L": G.LATENCY, "A": G.AREA, "R": G.RANDOMNESS,
+         "ALP": G.AREA_LATENCY}
+
+_measured = {}
+
+
+@pytest.mark.parametrize("order,goal_key",
+                         sorted(PAPER),
+                         ids=[f"d{o}-{g}" for o, g in sorted(PAPER)])
+def test_aes_design_point(benchmark, order, goal_key):
+    explorer = ExhaustiveExplorer(aes256(),
+                                  DesignContext(masking_order=order))
+
+    result = benchmark.pedantic(
+        lambda: explorer.run(GOALS[goal_key]), rounds=1, iterations=1)
+    metrics = result.best.metrics
+    _measured[(order, goal_key)] = (
+        metrics, result.best.configuration.describe())
+
+    paper_area, paper_rand, paper_latency = PAPER[(order, goal_key)]
+    # Latency calibration is exact (within the d=1 vs d=2 2-cycle
+    # wiggle the paper itself shows for the serial design).
+    assert metrics.latency_cc == pytest.approx(paper_latency, abs=2)
+    if paper_rand:
+        assert metrics.randomness_bits == pytest.approx(paper_rand,
+                                                        rel=0.07)
+    else:
+        assert metrics.randomness_bits == 0
+    # Areas: correct within calibration tolerance.
+    assert metrics.area_kge == pytest.approx(paper_area, rel=0.45)
+
+
+def test_report_table2(benchmark, report_dir):
+    def build():
+        rows = []
+        for (order, goal_key) in sorted(_measured):
+            metrics, described = _measured[(order, goal_key)]
+            paper_area, paper_rand, paper_latency = \
+                PAPER[(order, goal_key)]
+            rows.append([
+                order, goal_key,
+                f"{metrics.area_kge:.1f}",
+                f"{metrics.randomness_bits:.0f}",
+                f"{metrics.latency_cc:.0f}",
+                f"{paper_area}/{paper_rand}/{paper_latency}"])
+        write_table(report_dir, "table2",
+                    "Table II: AES-256 design points (measured)",
+                    ["d", "goal", "area kGE", "rand bits", "lat cc",
+                     "paper (A/R/L)"], rows)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(rows) == len(PAPER)
+    # Cross-order shape: masking inflates area superlinearly, and the
+    # latency-optimal design keeps 71 cycles at both orders.
+    assert _measured[(1, "L")][0].area_kge > \
+        20 * _measured[(0, "L")][0].area_kge
+    assert _measured[(2, "L")][0].latency_cc == \
+        _measured[(1, "L")][0].latency_cc == 71
+    assert _measured[(2, "R")][0].randomness_bits == \
+        3 * _measured[(1, "R")][0].randomness_bits

@@ -1,0 +1,37 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper and writes the
+reproduced rows to ``benchmarks/results/<name>.txt`` so the comparison
+against the paper (EXPERIMENTS.md) is a saved artifact, not just
+transient stdout.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(report_dir, name: str, title: str, header: list,
+                rows: list) -> str:
+    """Format and persist one reproduced table; returns the text."""
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w)
+                           for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    (report_dir / f"{name}.txt").write_text(text)
+    return text

@@ -1,0 +1,42 @@
+"""Calibration helper: run the AES-256 DSE and compare against Table II.
+
+Not part of the library; used during development to tune the cost-model
+constants in repro/hades/library/aes.py.
+"""
+
+import sys
+
+from repro.hades.explorer import ExhaustiveExplorer
+from repro.hades.library.aes import aes256
+from repro.hades.metrics import OptimizationGoal as G
+from repro.hades.template import DesignContext
+
+PAPER = {
+    (0, "L"): (41.4, 0, 19),
+    (0, "A"): (12.9, 0, 1378),
+    (1, "L"): (1205.3, 16200, 71),
+    (1, "A"): (29.9, 144, 2948),
+    (1, "R"): (32.2, 68, 4514),
+    (1, "ALP"): (142.8, 1224, 75),
+    (2, "L"): (2321.1, 48588, 71),
+    (2, "A"): (49.1, 408, 2946),
+    (2, "R"): (58.2, 204, 4514),
+    (2, "ALP"): (252.7, 3660, 75),
+}
+
+template = aes256()
+for order in (0, 1, 2):
+    explorer = ExhaustiveExplorer(template, DesignContext(
+        masking_order=order))
+    goals = [G.LATENCY, G.AREA]
+    if order:
+        goals += [G.RANDOMNESS, G.AREA_LATENCY]
+    for goal in goals:
+        result = explorer.run(goal)
+        m = result.best.metrics
+        paper = PAPER.get((order, goal.value))
+        print(f"d={order} {goal.value:5s} area={m.area_kge:9.1f} "
+              f"rand={m.randomness_bits:8.0f} lat={m.latency_cc:7.0f}"
+              f"   paper={paper}")
+        print("      ", result.best.configuration.describe())
+sys.exit(0)

@@ -1,0 +1,39 @@
+"""Compute-in-memory security: the power side-channel attack of paper
+Section III-C (Figs. 1 and 2) and its countermeasures.
+
+* :mod:`~repro.cim.macro` — the digital SRAM CIM macro (weights, adder
+  tree, MAC accumulator)
+* :mod:`~repro.cim.power` — switching-activity power model
+* :mod:`~repro.cim.attack` — the two-phase weight-extraction attack
+* :mod:`~repro.cim.kmeans` — k-means++ (scikit-learn stand-in)
+* :mod:`~repro.cim.countermeasures` — masking and shuffling defences
+* :mod:`~repro.cim.tvla` — Welch t-test leakage assessment
+"""
+
+from .adder_tree import AdderTree, hamming_distance, hamming_weight
+from .macro import (DigitalCimMacro, WEIGHT_BITS, WEIGHT_MAX, one_hot,
+                    subset_mask)
+from .power import PowerModel
+from .kmeans import KMeans
+from .attack import (AttackResult, Phase1Result, WeightExtractionAttack,
+                     phase2_power_patterns, values_with_hamming_weight)
+from .countermeasures import MaskedCimMacro, ShuffledCimMacro
+from .tvla import LeakageAssessment, T_THRESHOLD, assess_macro, welch_t
+from .cpa import CpaAttack, CpaResult
+from .layer import (CimLayer, LayerExtractionAttack,
+                    LayerExtractionResult)
+from .second_order import SecondOrderAttack, SecondOrderResult
+
+__all__ = [
+    "CpaAttack", "CpaResult",
+    "CimLayer", "LayerExtractionAttack", "LayerExtractionResult",
+    "SecondOrderAttack", "SecondOrderResult",
+    "AdderTree", "hamming_distance", "hamming_weight",
+    "DigitalCimMacro", "WEIGHT_BITS", "WEIGHT_MAX", "one_hot",
+    "subset_mask",
+    "PowerModel", "KMeans",
+    "AttackResult", "Phase1Result", "WeightExtractionAttack",
+    "phase2_power_patterns", "values_with_hamming_weight",
+    "MaskedCimMacro", "ShuffledCimMacro",
+    "LeakageAssessment", "T_THRESHOLD", "assess_macro", "welch_t",
+]

@@ -1,0 +1,78 @@
+"""Bit-level adder-tree model with switching-activity tracking.
+
+The paper's CIM macro (Section III-C) multiplies binary inputs with
+4-bit SRAM weights and feeds the products into an adder tree "which
+subsequently accumulates the products of all inputs and weights in a
+MAC accumulator".  The attack observes that "the switching activity of
+the accumulator can be confined to the desired level through input
+manipulation" — so the simulator must model exactly that: per-node
+values whose cycle-to-cycle Hamming distance is the power signal.
+"""
+
+from __future__ import annotations
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits (the quantity phase 1 clusters on)."""
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Bit flips between two register states."""
+    return hamming_weight(a ^ b)
+
+
+class AdderTree:
+    """A binary adder tree over ``leaf_count`` product inputs.
+
+    The tree keeps its internal node values between evaluations, so an
+    evaluation reports the true switching activity (sum of Hamming
+    distances of every node, including the leaves) relative to the
+    previous cycle — the dominant dynamic-power term of the macro.
+    """
+
+    def __init__(self, leaf_count: int):
+        if leaf_count < 1:
+            raise ValueError("adder tree needs at least one leaf")
+        self.leaf_count = leaf_count
+        # levels[0] = leaves; each higher level halves (rounding up).
+        self._levels = []
+        size = leaf_count
+        while size > 1:
+            self._levels.append([0] * size)
+            size = (size + 1) // 2
+        self._levels.append([0] * 1)
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels) - 1
+
+    def evaluate(self, products: list) -> tuple:
+        """Sum the products; returns (total, switching_activity).
+
+        ``switching_activity`` counts every bit flip in every tree node
+        relative to the previous evaluation.
+        """
+        if len(products) != self.leaf_count:
+            raise ValueError(
+                f"expected {self.leaf_count} products, got "
+                f"{len(products)}")
+        activity = 0
+        current = list(products)
+        for level_index, stored in enumerate(self._levels):
+            for i, value in enumerate(current):
+                activity += hamming_distance(stored[i], value)
+                stored[i] = value
+            if len(current) == 1:
+                break
+            current = [
+                current[2 * i] + (current[2 * i + 1]
+                                  if 2 * i + 1 < len(current) else 0)
+                for i in range((len(current) + 1) // 2)]
+        return self._levels[-1][0], activity
+
+    def reset(self) -> None:
+        """Clear all stored node values (power-cycle the macro)."""
+        for level in self._levels:
+            for i in range(len(level)):
+                level[i] = 0

@@ -1,0 +1,90 @@
+"""The digital SRAM compute-in-memory macro under attack.
+
+Models the macro of Mir et al. [23] that the paper evaluates: a row of
+4-bit weights in SRAM, bit-wise multiplication with binary input
+activations (an AND per weight), an adder tree, and a MAC accumulator
+register.  The attacker drives the binary inputs — "selective inclusion
+or exclusion of 4-bit weights in the accumulation process by providing
+binary input values as masks" — and observes power.
+"""
+
+from __future__ import annotations
+
+from .adder_tree import AdderTree, hamming_distance
+
+WEIGHT_BITS = 4
+WEIGHT_MAX = (1 << WEIGHT_BITS) - 1
+
+
+class DigitalCimMacro:
+    """One CIM macro row: weights, adder tree, MAC accumulator.
+
+    Parameters
+    ----------
+    weights:
+        The stored 4-bit weights (the IP the attack extracts).
+    accumulate:
+        If True the MAC register accumulates across operations; the
+        attack resets it per query (fresh accumulation), which is the
+        configuration the paper analyses.
+    """
+
+    def __init__(self, weights: list, accumulate: bool = False):
+        for w in weights:
+            if not 0 <= w <= WEIGHT_MAX:
+                raise ValueError(f"weight {w} outside 4-bit range")
+        self.weights = list(weights)
+        self.accumulate = accumulate
+        self.tree = AdderTree(len(weights))
+        self.mac_register = 0
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def reset(self) -> None:
+        """Power-cycle: clear the tree state and the MAC register."""
+        self.tree.reset()
+        self.mac_register = 0
+
+    def operate(self, inputs: list) -> tuple:
+        """One MAC operation with binary ``inputs``.
+
+        Returns ``(mac_value, toggles)`` where ``toggles`` is the total
+        switching activity of the operation: adder-tree node flips plus
+        MAC-register flips — the signal the power model scales.
+        """
+        if len(inputs) != len(self.weights):
+            raise ValueError(
+                f"expected {len(self.weights)} inputs, got {len(inputs)}")
+        if any(bit not in (0, 1) for bit in inputs):
+            raise ValueError("inputs must be binary activation masks")
+        products = [bit * weight
+                    for bit, weight in zip(inputs, self.weights)]
+        total, tree_activity = self.tree.evaluate(products)
+        new_mac = (self.mac_register + total) if self.accumulate \
+            else total
+        mac_activity = hamming_distance(self.mac_register, new_mac)
+        self.mac_register = new_mac
+        return new_mac, tree_activity + mac_activity
+
+    def query_fresh(self, inputs: list) -> int:
+        """The attacker's primitive: reset, operate once, return the
+        switching activity of that single operation."""
+        self.reset()
+        _, toggles = self.operate(inputs)
+        return toggles
+
+
+def one_hot(length: int, index: int) -> list:
+    """Input mask activating only weight ``index``."""
+    mask = [0] * length
+    mask[index] = 1
+    return mask
+
+
+def subset_mask(length: int, indices) -> list:
+    """Input mask activating exactly ``indices``."""
+    mask = [0] * length
+    for index in indices:
+        mask[index] = 1
+    return mask

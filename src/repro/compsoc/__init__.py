@@ -1,0 +1,29 @@
+"""Composable execution (paper Section III-E): CompSOC-style VEPs over
+a TDM interconnect, with composability verification, overhead analysis
+and root-of-trust-backed secure channels.
+"""
+
+from .vep import (Application, VepViolation, VirtualExecutionPlatform,
+                  periodic_workload)
+from .platform import AppTimeline, ComposablePlatform, MEMORY_LATENCY
+from .analysis import (ComposabilityReport, OverheadReport,
+                       measure_overhead, verify_composability,
+                       worst_case_service_bound)
+from .channel import (ExternalChannel, InterVepChannel,
+                      PlatformRootOfTrust, SealedMessage)
+from .dataflow import (Actor, Channel, SdfGraph, iteration_period_bound,
+                       measure_iteration_periods, static_order_schedule,
+                       to_application)
+
+__all__ = [
+    "Application", "VepViolation", "VirtualExecutionPlatform",
+    "periodic_workload",
+    "AppTimeline", "ComposablePlatform", "MEMORY_LATENCY",
+    "ComposabilityReport", "OverheadReport", "measure_overhead",
+    "verify_composability", "worst_case_service_bound",
+    "ExternalChannel", "InterVepChannel", "PlatformRootOfTrust",
+    "SealedMessage",
+    "Actor", "Channel", "SdfGraph", "iteration_period_bound",
+    "measure_iteration_periods", "static_order_schedule",
+    "to_application",
+]

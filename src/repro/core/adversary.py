@@ -1,0 +1,86 @@
+"""Adversary model (paper Section II-B).
+
+The CONVOLVE worst case: "the attacker has access to a large-scale
+quantum computer ... has physical access and can obtain side-channel
+information like execution time, power consumption or electromagnetic
+radiation ... can run arbitrary software on the same system, possibly
+exploiting software bugs, interfere in scheduling, or attempt to block
+peripherals.  Attackers with the ability to physically manipulate the
+execution, e.g., via fault injections, are out of scope."
+
+End users "derive a concrete security architecture for their
+application, with weaker adversary models if needed" — expressed here
+as subsets of the worst-case capability set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Capability(Enum):
+    """One attacker capability the framework reasons about."""
+
+    QUANTUM_COMPUTER = "quantum computer"
+    TIMING_SIDE_CHANNEL = "timing side channel"
+    POWER_SIDE_CHANNEL = "power side channel"
+    EM_SIDE_CHANNEL = "electromagnetic side channel"
+    COLOCATED_SOFTWARE = "arbitrary software on the same system"
+    SOFTWARE_BUGS = "exploiting software bugs"
+    SCHEDULING_INTERFERENCE = "interfering in scheduling"
+    PERIPHERAL_BLOCKING = "blocking peripherals"
+    NETWORK_ACCESS = "network man-in-the-middle"
+    FAULT_INJECTION = "fault injection"          # explicitly out of scope
+
+
+#: Capabilities the project declares out of scope.
+OUT_OF_SCOPE = frozenset({Capability.FAULT_INJECTION})
+
+#: The paper's worst-case model: everything in scope.
+WORST_CASE_CAPABILITIES = frozenset(
+    c for c in Capability if c not in OUT_OF_SCOPE)
+
+
+@dataclass(frozen=True)
+class AdversaryModel:
+    """A named set of attacker capabilities."""
+
+    name: str
+    capabilities: frozenset
+
+    def __post_init__(self):
+        unknown = {c for c in self.capabilities
+                   if not isinstance(c, Capability)}
+        if unknown:
+            raise ValueError(f"not capabilities: {unknown}")
+        in_scope_violation = self.capabilities & OUT_OF_SCOPE
+        if in_scope_violation:
+            raise ValueError(
+                f"{self.name}: {in_scope_violation} is out of scope for "
+                f"the CONVOLVE framework (fault injection excluded)")
+
+    def __contains__(self, capability: Capability) -> bool:
+        return capability in self.capabilities
+
+    def is_weaker_than(self, other: "AdversaryModel") -> bool:
+        """True iff every capability of self is also in ``other``."""
+        return self.capabilities <= other.capabilities
+
+    def without(self, *capabilities: Capability) -> "AdversaryModel":
+        """Derive a weaker model (the end-user tailoring step)."""
+        return AdversaryModel(
+            name=f"{self.name} minus "
+                 f"{'/'.join(c.name for c in capabilities)}",
+            capabilities=self.capabilities - set(capabilities))
+
+
+WORST_CASE = AdversaryModel("convolve-worst-case",
+                            WORST_CASE_CAPABILITIES)
+
+
+def remote_software_adversary() -> AdversaryModel:
+    """No physical access: side channels unavailable (e.g. space)."""
+    return WORST_CASE.without(Capability.TIMING_SIDE_CHANNEL,
+                              Capability.POWER_SIDE_CHANNEL,
+                              Capability.EM_SIDE_CHANNEL)

@@ -1,0 +1,214 @@
+"""The modular security-feature catalog (paper Sections II-A, III).
+
+"It allows end-users to pick and combine security features only when
+required" — each feature names the threats it mitigates (a capability
+applied to an asset), its dependencies on other features, its overhead,
+and the subsystem of this reproduction that implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .adversary import Capability
+
+
+class Asset(Enum):
+    """What a use case may need to protect."""
+
+    MODEL_WEIGHTS = "NN model weights (IP)"
+    CRYPTO_KEYS = "cryptographic keys"
+    USER_DATA = "processed user data (privacy)"
+    FIRMWARE_INTEGRITY = "firmware/boot integrity"
+    REAL_TIME_GUARANTEES = "real-time guarantees (availability)"
+    COMMUNICATION = "communication with remote parties"
+
+
+@dataclass(frozen=True)
+class Threat:
+    """A capability applied against an asset."""
+
+    capability: Capability
+    asset: Asset
+
+    def describe(self) -> str:
+        return f"{self.capability.value} vs {self.asset.value}"
+
+
+@dataclass(frozen=True)
+class Overhead:
+    """First-order cost of enabling a feature."""
+
+    area_kge: float = 0.0
+    energy_factor: float = 1.0       # multiplicative
+    latency_factor: float = 1.0      # multiplicative
+    code_bytes: int = 0
+
+    def combine(self, other: "Overhead") -> "Overhead":
+        return Overhead(
+            area_kge=self.area_kge + other.area_kge,
+            energy_factor=self.energy_factor * other.energy_factor,
+            latency_factor=self.latency_factor * other.latency_factor,
+            code_bytes=self.code_bytes + other.code_bytes)
+
+
+@dataclass(frozen=True)
+class SecurityFeature:
+    """One selectable module of the security framework."""
+
+    name: str
+    description: str
+    mitigates: frozenset            # of Threat
+    overhead: Overhead
+    depends_on: tuple = ()
+    implemented_by: str = ""        # module path in this reproduction
+
+
+def _threats(capability: Capability, *assets: Asset) -> set:
+    return {Threat(capability, asset) for asset in assets}
+
+
+def default_catalog() -> dict:
+    """The CONVOLVE feature catalog, keyed by feature name.
+
+    Overheads are representative figures taken from this reproduction's
+    own measurements (HADES Table II for masking, Table III for the PQ
+    TEE, the composability bench for TDM).
+    """
+    features = [
+        SecurityFeature(
+            "pq_signatures",
+            "ML-DSA-44 hybrid signatures: long-term authenticity",
+            frozenset(
+                _threats(Capability.QUANTUM_COMPUTER,
+                         Asset.COMMUNICATION, Asset.FIRMWARE_INTEGRITY)
+                | _threats(Capability.NETWORK_ACCESS,
+                           Asset.COMMUNICATION)),
+            Overhead(code_bytes=9728, latency_factor=1.05),
+            implemented_by="repro.crypto.mldsa/hybrid"),
+        SecurityFeature(
+            "pq_payload_encryption",
+            "AES-256 payload encryption (quantum-resistant symmetric)",
+            frozenset(_threats(Capability.QUANTUM_COMPUTER,
+                               Asset.MODEL_WEIGHTS, Asset.USER_DATA)
+                      | _threats(Capability.NETWORK_ACCESS,
+                                 Asset.MODEL_WEIGHTS, Asset.USER_DATA)),
+            Overhead(area_kge=12.9, energy_factor=1.02),
+            implemented_by="repro.crypto.aes + repro.hades AES-256"),
+        SecurityFeature(
+            "masked_crypto_hw",
+            "First-order masked crypto accelerators (HADES-generated)",
+            frozenset(_threats(Capability.POWER_SIDE_CHANNEL,
+                               Asset.CRYPTO_KEYS)
+                      | _threats(Capability.EM_SIDE_CHANNEL,
+                                 Asset.CRYPTO_KEYS)),
+            Overhead(area_kge=26.1 - 12.9, energy_factor=1.35,
+                     latency_factor=2.1),
+            depends_on=("pq_payload_encryption",),
+            implemented_by="repro.hades (Table II d=1 designs)"),
+        SecurityFeature(
+            "constant_time_crypto",
+            "Constant-time software crypto (no secret-dependent timing)",
+            frozenset(_threats(Capability.TIMING_SIDE_CHANNEL,
+                               Asset.CRYPTO_KEYS, Asset.MODEL_WEIGHTS)),
+            Overhead(latency_factor=1.15),
+            implemented_by="repro.crypto (branchless reference style)"),
+        SecurityFeature(
+            "measured_boot",
+            "Bootrom measures and signs the security monitor",
+            frozenset(_threats(Capability.SOFTWARE_BUGS,
+                               Asset.FIRMWARE_INTEGRITY)
+                      | _threats(Capability.COLOCATED_SOFTWARE,
+                                 Asset.FIRMWARE_INTEGRITY)),
+            Overhead(code_bytes=51917),
+            implemented_by="repro.tee.bootrom"),
+        SecurityFeature(
+            "tee_enclaves",
+            "Keystone-style PMP enclaves isolate high-risk software",
+            frozenset(_threats(Capability.COLOCATED_SOFTWARE,
+                               Asset.MODEL_WEIGHTS, Asset.CRYPTO_KEYS,
+                               Asset.USER_DATA)
+                      | _threats(Capability.SOFTWARE_BUGS,
+                                 Asset.MODEL_WEIGHTS, Asset.CRYPTO_KEYS,
+                                 Asset.USER_DATA)),
+            Overhead(energy_factor=1.05, latency_factor=1.08),
+            depends_on=("measured_boot",),
+            implemented_by="repro.tee.sm"),
+        SecurityFeature(
+            "remote_attestation",
+            "Hybrid-signed attestation reports prove device integrity",
+            frozenset(_threats(Capability.NETWORK_ACCESS,
+                               Asset.FIRMWARE_INTEGRITY)
+                      | _threats(Capability.QUANTUM_COMPUTER,
+                                 Asset.FIRMWARE_INTEGRITY)),
+            Overhead(code_bytes=7472),
+            depends_on=("measured_boot", "tee_enclaves",
+                        "pq_signatures"),
+            implemented_by="repro.tee.attestation"),
+        SecurityFeature(
+            "data_sealing",
+            "Enclave-bound storage encryption for models in the field",
+            frozenset(_threats(Capability.COLOCATED_SOFTWARE,
+                               Asset.MODEL_WEIGHTS)
+                      | _threats(Capability.NETWORK_ACCESS,
+                                 Asset.MODEL_WEIGHTS)),
+            Overhead(energy_factor=1.02),
+            depends_on=("tee_enclaves", "pq_payload_encryption"),
+            implemented_by="repro.tee.sealing"),
+        SecurityFeature(
+            "pmp_task_isolation",
+            "PMP-hardened RTOS: inter-task and kernel protection",
+            frozenset(_threats(Capability.SOFTWARE_BUGS,
+                               Asset.REAL_TIME_GUARANTEES,
+                               Asset.USER_DATA)
+                      | _threats(Capability.COLOCATED_SOFTWARE,
+                                 Asset.REAL_TIME_GUARANTEES)
+                      | _threats(Capability.PERIPHERAL_BLOCKING,
+                                 Asset.REAL_TIME_GUARANTEES)),
+            Overhead(latency_factor=1.03),
+            implemented_by="repro.rtos"),
+        SecurityFeature(
+            "execution_budgets",
+            "Per-task CPU budgets contain scheduling interference",
+            frozenset(_threats(Capability.SCHEDULING_INTERFERENCE,
+                               Asset.REAL_TIME_GUARANTEES)),
+            Overhead(latency_factor=1.02),
+            depends_on=("pmp_task_isolation",),
+            implemented_by="repro.rtos.kernel (budget_ticks)"),
+        SecurityFeature(
+            "composable_execution",
+            "TDM/VEP composable platform: interference-free timing",
+            frozenset(_threats(Capability.SCHEDULING_INTERFERENCE,
+                               Asset.REAL_TIME_GUARANTEES)
+                      | _threats(Capability.TIMING_SIDE_CHANNEL,
+                                 Asset.USER_DATA)),
+            Overhead(energy_factor=1.10, latency_factor=1.31),
+            implemented_by="repro.compsoc"),
+        SecurityFeature(
+            "cim_masking",
+            "Arithmetic masking of the CIM adder tree",
+            frozenset(_threats(Capability.POWER_SIDE_CHANNEL,
+                               Asset.MODEL_WEIGHTS)
+                      | _threats(Capability.EM_SIDE_CHANNEL,
+                                 Asset.MODEL_WEIGHTS)),
+            Overhead(area_kge=8.0, energy_factor=2.0,
+                     latency_factor=2.0),
+            implemented_by="repro.cim.countermeasures.MaskedCimMacro"),
+        SecurityFeature(
+            "cim_shuffling",
+            "Per-operation column shuffling of the CIM macro",
+            frozenset(_threats(Capability.POWER_SIDE_CHANNEL,
+                               Asset.MODEL_WEIGHTS)),
+            Overhead(area_kge=1.5, energy_factor=1.1),
+            implemented_by="repro.cim.countermeasures.ShuffledCimMacro"),
+        SecurityFeature(
+            "secure_channels",
+            "Root-of-trust backed sealed+signed inter-VEP/external links",
+            frozenset(_threats(Capability.NETWORK_ACCESS,
+                               Asset.COMMUNICATION, Asset.USER_DATA)),
+            Overhead(energy_factor=1.03),
+            depends_on=("pq_signatures",),
+            implemented_by="repro.compsoc.channel"),
+    ]
+    return {feature.name: feature for feature in features}

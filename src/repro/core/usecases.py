@@ -1,0 +1,74 @@
+"""The four CONVOLVE use cases (paper Section I).
+
+"The project also features four diverse use-cases: speech quality
+enhancement, acoustic scene analysis, traffic supervision, and computer
+vision tasks for satellite imagery. ... distinct applications require
+different security features.  For instance, chips deployed to space are
+not susceptible to side-channel based IP theft, but have a strong need
+for long-term secure communication channels with a remote controller."
+"""
+
+from __future__ import annotations
+
+from .adversary import WORST_CASE, remote_software_adversary
+from .features import Asset
+from .framework import UseCaseProfile
+
+
+def speech_enhancement() -> UseCaseProfile:
+    """Consumer hearable: on-device speech quality enhancement.
+
+    Physical access is trivial (it is a consumer gadget); privacy of
+    the audio stream and the vendor's model IP dominate.
+    """
+    return UseCaseProfile(
+        name="speech-quality-enhancement",
+        assets=frozenset({Asset.MODEL_WEIGHTS, Asset.USER_DATA,
+                          Asset.CRYPTO_KEYS, Asset.FIRMWARE_INTEGRITY}),
+        adversary=WORST_CASE,
+        real_time=True,
+        description="ANN-based denoising on an earbud-class device")
+
+
+def acoustic_scene_analysis() -> UseCaseProfile:
+    """Always-on acoustic monitoring (e.g. glass-break detection)."""
+    return UseCaseProfile(
+        name="acoustic-scene-analysis",
+        assets=frozenset({Asset.USER_DATA, Asset.FIRMWARE_INTEGRITY,
+                          Asset.COMMUNICATION}),
+        adversary=WORST_CASE,
+        real_time=False,
+        description="CNN scene classification with online learning")
+
+
+def traffic_supervision() -> UseCaseProfile:
+    """Roadside traffic analytics with hard deadlines."""
+    return UseCaseProfile(
+        name="traffic-supervision",
+        assets=frozenset({Asset.REAL_TIME_GUARANTEES,
+                          Asset.FIRMWARE_INTEGRITY, Asset.USER_DATA,
+                          Asset.COMMUNICATION}),
+        adversary=WORST_CASE,
+        real_time=True,
+        description="dynamic NNs on shared roadside units")
+
+
+def satellite_imagery() -> UseCaseProfile:
+    """Computer vision on orbit: no physical attacker, long missions.
+
+    The paper's canonical tailoring example: side channels drop out of
+    the adversary model, while long-term (post-quantum) secure
+    communication with the remote controller becomes critical.
+    """
+    return UseCaseProfile(
+        name="satellite-imagery",
+        assets=frozenset({Asset.MODEL_WEIGHTS, Asset.COMMUNICATION,
+                          Asset.FIRMWARE_INTEGRITY,
+                          Asset.CRYPTO_KEYS}),
+        adversary=remote_software_adversary(),
+        real_time=False,
+        description="static CNNs on radiation-tolerant edge hardware")
+
+
+ALL_USE_CASES = (speech_enhancement, acoustic_scene_analysis,
+                 traffic_supervision, satellite_imagery)

@@ -1,0 +1,253 @@
+"""Pure-Python AES-128/192/256 (FIPS 197) with CTR mode and an AEAD.
+
+AES-256 is CONVOLVE's payload-encryption algorithm (Section III-A,
+Table II): HADES explores masked hardware designs of exactly this cipher.
+This module is the functional software reference; the *hardware design
+space* of AES lives in :mod:`repro.hades.library.aes`.
+
+The S-box and its inverse are derived programmatically from the GF(2^8)
+inversion + affine transform definition rather than transcribed, so a typo
+cannot silently corrupt the cipher; FIPS 197 known-answer vectors are
+enforced in the test suite.
+"""
+
+from __future__ import annotations
+
+from .keccak import sha3_256
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) (AES polynomial)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254 is the inverse in GF(2^8).
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, power)
+        power = gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    sbox = [0] * 256
+    for value in range(256):
+        inv = _gf_inverse(value)
+        out = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit) ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8)) ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8)) ^ (0x63 >> bit)
+            ) & 1
+            out |= parity << bit
+        sbox[value] = out
+    return tuple(sbox)
+
+
+SBOX = _build_sbox()
+INV_SBOX = tuple(SBOX.index(i) for i in range(256))
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+         0x6C, 0xD8, 0xAB, 0x4D)
+
+
+class AES:
+    """AES block cipher for 16/24/32-byte keys.
+
+    >>> cipher = AES(bytes(range(32)))
+    >>> block = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(block) == bytes(16)
+    True
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> list:
+        nk = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(self.rounds + 1):
+            round_keys.append([byte for word in words[4 * r:4 * r + 4]
+                               for byte in word])
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: list, round_key: list) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _shift_rows(state: list) -> list:
+        # State is column-major: state[4*col + row].
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> list:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list) -> list:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            out[4 * col + 0] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3]
+            out[4 * col + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3]
+            out[4 * col + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3)
+            out[4 * col + 3] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list) -> list:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            out[4 * col + 0] = (gf_mul(a[0], 14) ^ gf_mul(a[1], 11)
+                                ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9))
+            out[4 * col + 1] = (gf_mul(a[0], 9) ^ gf_mul(a[1], 14)
+                                ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13))
+            out[4 * col + 2] = (gf_mul(a[0], 13) ^ gf_mul(a[1], 9)
+                                ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11))
+            out[4 * col + 3] = (gf_mul(a[0], 11) ^ gf_mul(a[1], 13)
+                                ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14))
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            state = [SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        state = [SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+            self._add_round_key(state, self._round_keys[r])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+def aes_ctr(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """AES-CTR keystream XOR (encryption and decryption are identical).
+
+    ``nonce`` must be 12 bytes; the remaining 4 bytes hold a big-endian
+    block counter starting at 0.
+    """
+    if len(nonce) != 12:
+        raise ValueError("CTR nonce must be 12 bytes")
+    cipher = AES(key)
+    out = bytearray()
+    for block_index in range((len(data) + 15) // 16):
+        counter_block = nonce + block_index.to_bytes(4, "big")
+        keystream = cipher.encrypt_block(counter_block)
+        chunk = data[16 * block_index:16 * block_index + 16]
+        out.extend(c ^ k for c, k in zip(chunk, keystream))
+    return bytes(out)
+
+
+MAC_LEN = 32
+
+
+def seal_aead(key: bytes, nonce: bytes, plaintext: bytes,
+              associated_data: bytes = b"") -> bytes:
+    """Encrypt-then-MAC AEAD: AES-256-CTR + SHA3-256 tag.
+
+    The tag binds the key, nonce, associated data and ciphertext; the
+    layout is ``ciphertext || tag`` (tag is :data:`MAC_LEN` bytes).
+    """
+    ciphertext = aes_ctr(key, nonce, plaintext)
+    tag = _mac(key, nonce, associated_data, ciphertext)
+    return ciphertext + tag
+
+
+def open_aead(key: bytes, nonce: bytes, sealed: bytes,
+              associated_data: bytes = b"") -> bytes:
+    """Authenticate and decrypt :func:`seal_aead` output.
+
+    Raises ``ValueError`` on authentication failure.
+    """
+    if len(sealed) < MAC_LEN:
+        raise ValueError("sealed blob too short")
+    ciphertext, tag = sealed[:-MAC_LEN], sealed[-MAC_LEN:]
+    expected = _mac(key, nonce, associated_data, ciphertext)
+    if not _constant_time_equal(tag, expected):
+        raise ValueError("AEAD authentication failed")
+    return aes_ctr(key, nonce, ciphertext)
+
+
+def _mac(key: bytes, nonce: bytes, associated_data: bytes,
+         ciphertext: bytes) -> bytes:
+    mac_key = sha3_256(b"convolve-aead-mac" + key)
+    header = (len(associated_data).to_bytes(8, "big")
+              + len(ciphertext).to_bytes(8, "big"))
+    return sha3_256(mac_key + nonce + header + associated_data + ciphertext)
+
+
+def _constant_time_equal(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,168 @@
+"""Pure-Python Ed25519 signatures (RFC 8032).
+
+Ed25519 is the *default* Keystone signature scheme (paper Table III).  The
+PQ-enabled TEE keeps it alongside ML-DSA-44 in a hybrid, so that security
+is never weaker than the classical baseline even if one scheme falls.
+
+Implementation notes: twisted Edwards curve arithmetic in extended
+homogeneous coordinates; SHA-512 from the standard library (the from-
+scratch hashing effort of this project is Keccak, see
+:mod:`repro.crypto.keccak`).  Not constant-time — it is a behavioural
+model for the TEE simulator, not production crypto.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+P = 2 ** 255 - 19
+L = 2 ** 252 + 27742317777372353535851937790883648493
+D = (-121665 * pow(121666, P - 2, P)) % P
+
+PUBLIC_KEY_LEN = 32
+SECRET_KEY_LEN = 32
+SIGNATURE_LEN = 64
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _inv(x: int) -> int:
+    return pow(x, P - 2, P)
+
+
+# Points are (X, Y, Z, T) with x = X/Z, y = Y/Z, x*y = T/Z.
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _point_add(p, q):
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % P
+    b = (y1 + x1) * (y2 + x2) % P
+    c = 2 * t1 * t2 * D % P
+    d = 2 * z1 * z2 % P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_mul(scalar: int, point):
+    result = _IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p, q) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % P == 0 and (y1 * z2 - y2 * z1) % P == 0
+
+
+def _recover_x(y: int, sign: int) -> int:
+    if y >= P:
+        raise ValueError("invalid point encoding")
+    x2 = (y * y - 1) * _inv(D * y * y + 1) % P
+    if x2 == 0:
+        if sign:
+            raise ValueError("invalid point encoding")
+        return 0
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * pow(2, (P - 1) // 4, P) % P
+    if (x * x - x2) % P != 0:
+        raise ValueError("invalid point encoding")
+    if (x & 1) != sign:
+        x = P - x
+    return x
+
+
+_BASE_Y = 4 * _inv(5) % P
+_BASE_X = _recover_x(_BASE_Y, 0)
+BASE_POINT = (_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % P)
+
+
+def _compress(point) -> bytes:
+    x, y, z, _ = point
+    zinv = _inv(z)
+    x, y = x * zinv % P, y * zinv % P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _decompress(data: bytes):
+    if len(data) != 32:
+        raise ValueError("point encoding must be 32 bytes")
+    encoded = int.from_bytes(data, "little")
+    sign = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % P)
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    a = bytearray(scalar_bytes)
+    a[0] &= 248
+    a[31] &= 127
+    a[31] |= 64
+    return int.from_bytes(a, "little")
+
+
+def public_key(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    if len(secret) != SECRET_KEY_LEN:
+        raise ValueError("Ed25519 secret must be 32 bytes")
+    a = _clamp(_sha512(secret)[:32])
+    return _compress(_point_mul(a, BASE_POINT))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte deterministic Ed25519 signature."""
+    if len(secret) != SECRET_KEY_LEN:
+        raise ValueError("Ed25519 secret must be 32 bytes")
+    digest = _sha512(secret)
+    a = _clamp(digest[:32])
+    prefix = digest[32:]
+    public = _compress(_point_mul(a, BASE_POINT))
+    r = int.from_bytes(_sha512(prefix + message), "little") % L
+    r_point = _compress(_point_mul(r, BASE_POINT))
+    k = int.from_bytes(_sha512(r_point + public + message), "little") % L
+    s = (r + k * a) % L
+    return r_point + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature; returns False on any malformation."""
+    if len(public) != PUBLIC_KEY_LEN or len(signature) != SIGNATURE_LEN:
+        return False
+    try:
+        a_point = _decompress(public)
+        r_point = _decompress(signature[:32])
+    except ValueError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32] + public + message),
+                       "little") % L
+    left = _point_mul(s, BASE_POINT)
+    right = _point_add(r_point, _point_mul(k, a_point))
+    return _point_equal(left, right)
+
+
+class Ed25519KeyPair:
+    """Convenience wrapper pairing a seed with its derived public key."""
+
+    def __init__(self, secret: bytes):
+        self.secret = bytes(secret)
+        self.public = public_key(self.secret)
+
+    def sign(self, message: bytes) -> bytes:
+        return sign(self.secret, message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return verify(self.public, message, signature)

@@ -1,0 +1,82 @@
+"""Hybrid Ed25519 + ML-DSA signatures.
+
+The paper's PQ-enabled Keystone signs everything with *both* schemes so
+that "security is always at least as that of Ed25519, while also ensuring
+long-term security from quantum attackers" (Section III-B).  This module
+implements that hybrid: a hybrid signature verifies only if both
+component signatures verify over the same message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ed25519
+from .mldsa import ML_DSA_44, MLDSA, MLDSAParams
+
+ED25519_PK_LEN = ed25519.PUBLIC_KEY_LEN
+ED25519_SIG_LEN = ed25519.SIGNATURE_LEN
+
+
+@dataclass(frozen=True)
+class HybridPublicKey:
+    """Concatenation-style hybrid public key."""
+
+    ed25519: bytes
+    mldsa: bytes
+
+    def encode(self) -> bytes:
+        return self.ed25519 + self.mldsa
+
+    @classmethod
+    def decode(cls, data: bytes,
+               params: MLDSAParams = ML_DSA_44) -> "HybridPublicKey":
+        expected = ED25519_PK_LEN + params.public_key_bytes
+        if len(data) != expected:
+            raise ValueError(f"hybrid public key must be {expected} bytes")
+        return cls(data[:ED25519_PK_LEN], data[ED25519_PK_LEN:])
+
+
+class HybridKeyPair:
+    """A signing identity holding one Ed25519 and one ML-DSA key pair.
+
+    Both keys are derived deterministically from their 32-byte seeds, so
+    a device can persist two seeds (64 bytes) instead of expanded keys —
+    the bootrom-size mitigation the paper describes.
+    """
+
+    def __init__(self, ed25519_seed: bytes, mldsa_seed: bytes,
+                 params: MLDSAParams = ML_DSA_44):
+        self.params = params
+        self._scheme = MLDSA(params)
+        self._ed_seed = bytes(ed25519_seed)
+        self._mldsa_seed = bytes(mldsa_seed)
+        self._ed_public = ed25519.public_key(self._ed_seed)
+        self._mldsa_public, self._mldsa_secret = (
+            self._scheme.key_gen(self._mldsa_seed))
+
+    @property
+    def public(self) -> HybridPublicKey:
+        return HybridPublicKey(self._ed_public, self._mldsa_public)
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign with both schemes; layout ``ed25519_sig || mldsa_sig``."""
+        classical = ed25519.sign(self._ed_seed, message)
+        post_quantum = self._scheme.sign(self._mldsa_secret, message)
+        return classical + post_quantum
+
+    def signature_length(self) -> int:
+        return ED25519_SIG_LEN + self.params.signature_bytes
+
+
+def verify(public: HybridPublicKey, message: bytes, signature: bytes,
+           params: MLDSAParams = ML_DSA_44) -> bool:
+    """True only if *both* component signatures verify."""
+    expected = ED25519_SIG_LEN + params.signature_bytes
+    if len(signature) != expected:
+        return False
+    classical = signature[:ED25519_SIG_LEN]
+    post_quantum = signature[ED25519_SIG_LEN:]
+    if not ed25519.verify(public.ed25519, message, classical):
+        return False
+    return MLDSA(params).verify(public.mldsa, message, post_quantum)

@@ -1,0 +1,279 @@
+"""Pure-Python Keccak-f[1600] sponge, SHA-3 and SHAKE (FIPS 202).
+
+The CONVOLVE paper (Section III-A/III-B) uses Keccak both as a hardware
+accelerator target (it is a subroutine of BIKE and CRYSTALS-Dilithium) and
+as the measurement hash of the Keystone security monitor.  This module is
+the software reference used by the TEE substrate (:mod:`repro.tee`) and by
+ML-DSA (:mod:`repro.crypto.mldsa`).
+
+The implementation is written from scratch and is cross-validated against
+``hashlib`` in the test suite.  It favours clarity over raw speed; the
+sponge processes whole lanes with Python integers.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: Round constants for the iota step of Keccak-f[1600].
+ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+def _rho_offsets() -> tuple:
+    """Compute the FIPS 202 rho rotation offsets, indexed ``[x][y]``.
+
+    Derived from the defining recurrence: starting at lane (1, 0), step t
+    rotates by (t+1)(t+2)/2 and moves to (y, 2x + 3y mod 5).
+    """
+    offsets = [[0] * 5 for _ in range(5)]
+    x, y = 1, 0
+    for t in range(24):
+        offsets[x][y] = ((t + 1) * (t + 2) // 2) % 64
+        x, y = y, (2 * x + 3 * y) % 5
+    return tuple(tuple(row) for row in offsets)
+
+
+#: FIPS 202 rho-step rotation offsets, indexed ``[x][y]``.
+ROTATION_OFFSETS = _rho_offsets()
+
+
+def _rotl64(value: int, shift: int) -> int:
+    """Rotate a 64-bit lane left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def keccak_f1600(lanes: list) -> list:
+    """Apply the Keccak-f[1600] permutation to 25 lanes (5x5, row-major x).
+
+    ``lanes`` is a flat list of 25 integers where lane ``(x, y)`` lives at
+    index ``x + 5 * y``.  A new list is returned; the input is not mutated.
+    """
+    a = list(lanes)
+    for rc in ROUND_CONSTANTS:
+        # theta
+        c = [a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20]
+             for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl64(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                a[x + 5 * y] ^= d[x]
+        # rho and pi
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                nx, ny = y, (2 * x + 3 * y) % 5
+                b[nx + 5 * ny] = _rotl64(a[x + 5 * y],
+                                         ROTATION_OFFSETS[x][y])
+        # chi
+        for x in range(5):
+            for y in range(5):
+                a[x + 5 * y] = b[x + 5 * y] ^ (
+                    (~b[(x + 1) % 5 + 5 * y] & _MASK64)
+                    & b[(x + 2) % 5 + 5 * y])
+        # iota
+        a[0] ^= rc
+    return a
+
+
+class KeccakSponge:
+    """Incremental Keccak sponge with a byte-granular rate.
+
+    Parameters
+    ----------
+    rate_bytes:
+        Sponge rate in bytes (block size); capacity is ``200 - rate``.
+    domain_suffix:
+        Padding domain-separation byte (``0x06`` for SHA-3, ``0x1F`` for
+        SHAKE, ``0x01`` for original Keccak).
+    """
+
+    def __init__(self, rate_bytes: int, domain_suffix: int):
+        if not 0 < rate_bytes < 200:
+            raise ValueError(f"rate must be in (0, 200), got {rate_bytes}")
+        self.rate_bytes = rate_bytes
+        self.domain_suffix = domain_suffix
+        self._lanes = [0] * 25
+        self._buffer = bytearray()
+        self._squeezing = False
+        self._squeeze_offset = 0
+
+    def absorb(self, data: bytes) -> "KeccakSponge":
+        """Absorb ``data`` into the sponge; chainable."""
+        if self._squeezing:
+            raise RuntimeError("cannot absorb after squeezing has begun")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self.rate_bytes:
+            block = bytes(self._buffer[:self.rate_bytes])
+            del self._buffer[:self.rate_bytes]
+            self._absorb_block(block)
+        return self
+
+    def _absorb_block(self, block: bytes) -> None:
+        for i in range(len(block) // 8):
+            lane = int.from_bytes(block[8 * i:8 * i + 8], "little")
+            self._lanes[i] ^= lane
+        # A partial trailing chunk only occurs for the padded final block,
+        # which _pad always extends to the full rate, so nothing remains.
+        self._lanes = keccak_f1600(self._lanes)
+
+    def _pad(self) -> None:
+        pad_len = self.rate_bytes - (len(self._buffer) % self.rate_bytes)
+        padding = bytearray(pad_len)
+        padding[0] = self.domain_suffix
+        padding[-1] ^= 0x80
+        self._buffer.extend(padding)
+        while len(self._buffer) >= self.rate_bytes:
+            block = bytes(self._buffer[:self.rate_bytes])
+            del self._buffer[:self.rate_bytes]
+            self._absorb_block(block)
+
+    def squeeze(self, length: int) -> bytes:
+        """Squeeze ``length`` output bytes; may be called repeatedly."""
+        if not self._squeezing:
+            self._pad()
+            self._squeezing = True
+            self._squeeze_offset = 0
+        out = bytearray()
+        while len(out) < length:
+            if self._squeeze_offset == self.rate_bytes:
+                self._lanes = keccak_f1600(self._lanes)
+                self._squeeze_offset = 0
+            lane_index, lane_byte = divmod(self._squeeze_offset, 8)
+            lane = self._lanes[lane_index].to_bytes(8, "little")
+            take = min(length - len(out),
+                       8 - lane_byte,
+                       self.rate_bytes - self._squeeze_offset)
+            out.extend(lane[lane_byte:lane_byte + take])
+            self._squeeze_offset += take
+        return bytes(out)
+
+
+def _fixed_output_hash(data: bytes, rate_bytes: int, out_len: int) -> bytes:
+    sponge = KeccakSponge(rate_bytes, domain_suffix=0x06)
+    sponge.absorb(data)
+    return sponge.squeeze(out_len)
+
+
+def pure_sha3_256(data: bytes) -> bytes:
+    """SHA3-256 via the from-scratch sponge (32 bytes)."""
+    return _fixed_output_hash(data, rate_bytes=136, out_len=32)
+
+
+def pure_sha3_512(data: bytes) -> bytes:
+    """SHA3-512 via the from-scratch sponge (64 bytes)."""
+    return _fixed_output_hash(data, rate_bytes=72, out_len=64)
+
+
+def pure_shake128(data: bytes, out_len: int) -> bytes:
+    """SHAKE128 via the from-scratch sponge."""
+    return KeccakSponge(168, domain_suffix=0x1F).absorb(data).squeeze(out_len)
+
+
+def pure_shake256(data: bytes, out_len: int) -> bytes:
+    """SHAKE256 via the from-scratch sponge."""
+    return KeccakSponge(136, domain_suffix=0x1F).absorb(data).squeeze(out_len)
+
+
+# ---------------------------------------------------------------------------
+# Accelerated dispatch.
+#
+# The pure sponge above is the reference; the test suite proves it
+# byte-identical to CPython's C implementation of FIPS 202.  Because the
+# simulator hashes megabytes (ROM images, SM binaries, ML-DSA expansion),
+# the *public* entry points below dispatch to hashlib when it provides
+# SHA-3 — same functions, ~100x faster — and fall back to the pure sponge
+# otherwise.  Set ``ACCELERATED = False`` to force the pure path.
+
+try:
+    import hashlib as _hashlib
+    ACCELERATED = hasattr(_hashlib, "sha3_256")
+except ImportError:  # pragma: no cover - hashlib is always present
+    ACCELERATED = False
+
+
+def sha3_256(data: bytes) -> bytes:
+    """SHA3-256 digest of ``data`` (32 bytes)."""
+    if ACCELERATED:
+        return _hashlib.sha3_256(data).digest()
+    return pure_sha3_256(data)
+
+
+def sha3_512(data: bytes) -> bytes:
+    """SHA3-512 digest of ``data`` (64 bytes)."""
+    if ACCELERATED:
+        return _hashlib.sha3_512(data).digest()
+    return pure_sha3_512(data)
+
+
+def shake128(data: bytes, out_len: int) -> bytes:
+    """SHAKE128 extendable-output function."""
+    if ACCELERATED:
+        return _hashlib.shake_128(data).digest(out_len)
+    return pure_shake128(data, out_len)
+
+
+def shake256(data: bytes, out_len: int) -> bytes:
+    """SHAKE256 extendable-output function."""
+    if ACCELERATED:
+        return _hashlib.shake_256(data).digest(out_len)
+    return pure_shake256(data, out_len)
+
+
+class _IncrementalXof:
+    """Absorb-then-stream XOF with the same backend dispatch."""
+
+    _RATE = None
+    _HASHLIB_NAME = None
+
+    def __init__(self, data: bytes = b""):
+        if ACCELERATED:
+            self._state = _hashlib.new(self._HASHLIB_NAME)
+            self._offset = 0
+            self._reading = False
+        else:
+            self._state = KeccakSponge(self._RATE, domain_suffix=0x1F)
+        if data:
+            self.absorb(data)
+
+    def absorb(self, data: bytes):
+        if ACCELERATED:
+            if self._reading:
+                raise RuntimeError("cannot absorb after squeezing")
+            self._state.update(data)
+        else:
+            self._state.absorb(data)
+        return self
+
+    def read(self, length: int) -> bytes:
+        if ACCELERATED:
+            self._reading = True
+            end = self._offset + length
+            out = self._state.digest(end)[self._offset:end]
+            self._offset = end
+            return out
+        return self._state.squeeze(length)
+
+
+class Shake128(_IncrementalXof):
+    """Incremental SHAKE128 (absorb-then-stream)."""
+
+    _RATE = 168
+    _HASHLIB_NAME = "shake_128"
+
+
+class Shake256(_IncrementalXof):
+    """Incremental SHAKE256 (absorb-then-stream)."""
+
+    _RATE = 136
+    _HASHLIB_NAME = "shake_256"

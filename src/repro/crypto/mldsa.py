@@ -1,0 +1,663 @@
+"""Pure-Python ML-DSA (FIPS 204, a.k.a. CRYSTALS-Dilithium).
+
+The CONVOLVE post-quantum TEE (paper Section III-B, Table III) adds
+ML-DSA-44 next to Ed25519 for measured boot, attestation-report signing
+and sealing-key derivation.  This module implements the full standard from
+scratch: NTT arithmetic over Z_q[x]/(x^256+1), rejection sampling,
+hint-based signature compression and all bit-packed encodings.  All three
+parameter sets are provided; the TEE uses :data:`ML_DSA_44`.
+
+The deterministic signing variant is the default (``rnd`` = 32 zero
+bytes), matching what an enclave without a DRBG would use.
+
+Two practical observations from the paper are modelled faithfully:
+
+* the private key can be stored as a 32-byte seed and regenerated at boot
+  (:func:`MLDSA.key_gen` is deterministic in the seed), and
+* signing needs far more working memory than Ed25519 — the
+  :attr:`MLDSA.signing_stack_bytes` estimate drives the security-monitor
+  stack sizing experiment (8 KB default corrupts, 128 KB suffices).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .keccak import Shake128, Shake256, shake256
+
+Q = 8380417
+N = 256
+ZETA = 1753
+D = 13
+
+
+def _bitrev8(value: int) -> int:
+    result = 0
+    for _ in range(8):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+#: zeta^bitrev8(k) mod q, the butterfly twiddles in standard NTT order.
+ZETAS = tuple(pow(ZETA, _bitrev8(k), Q) for k in range(N))
+
+_INV_256 = pow(N, Q - 2, Q)
+
+
+def ntt(coeffs: list) -> list:
+    """Forward number-theoretic transform (in standard FIPS 204 order)."""
+    a = list(coeffs)
+    k = 0
+    length = 128
+    while length >= 1:
+        start = 0
+        while start < N:
+            k += 1
+            zeta = ZETAS[k]
+            for j in range(start, start + length):
+                t = zeta * a[j + length] % Q
+                a[j + length] = (a[j] - t) % Q
+                a[j] = (a[j] + t) % Q
+            start += 2 * length
+        length //= 2
+    return a
+
+
+def intt(coeffs: list) -> list:
+    """Inverse NTT, returning coefficients in [0, q)."""
+    a = list(coeffs)
+    k = N
+    length = 1
+    while length < N:
+        start = 0
+        while start < N:
+            k -= 1
+            neg_zeta = Q - ZETAS[k]
+            for j in range(start, start + length):
+                t = a[j]
+                a[j] = (t + a[j + length]) % Q
+                a[j + length] = (t - a[j + length]) * neg_zeta % Q
+            start += 2 * length
+        length *= 2
+    return [x * _INV_256 % Q for x in a]
+
+
+def ntt_mul(a: list, b: list) -> list:
+    """Coefficient-wise product of two NTT-domain polynomials."""
+    return [x * y % Q for x, y in zip(a, b)]
+
+
+def poly_add(a: list, b: list) -> list:
+    return [(x + y) % Q for x, y in zip(a, b)]
+
+
+def poly_sub(a: list, b: list) -> list:
+    return [(x - y) % Q for x, y in zip(a, b)]
+
+
+def centered(value: int, modulus: int = Q) -> int:
+    """Map ``value mod modulus`` into (-modulus/2, modulus/2]."""
+    value %= modulus
+    if value > modulus // 2:
+        value -= modulus
+    return value
+
+
+def infinity_norm(poly_or_vec) -> int:
+    """Max |coefficient| after centering mod q (vector of polys or poly)."""
+    if poly_or_vec and isinstance(poly_or_vec[0], list):
+        return max(infinity_norm(p) for p in poly_or_vec)
+    return max(abs(centered(c)) for c in poly_or_vec)
+
+
+def power2round(value: int) -> tuple:
+    """Split ``value`` (mod q) into (r1, r0) with r = r1*2^d + r0."""
+    value %= Q
+    r0 = centered(value, 1 << D)
+    return (value - r0) >> D, r0
+
+
+def decompose(value: int, gamma2: int) -> tuple:
+    """FIPS 204 Decompose: r = r1*(2*gamma2) + r0 with the q-1 wraparound."""
+    value %= Q
+    r0 = centered(value, 2 * gamma2)
+    if value - r0 == Q - 1:
+        return 0, r0 - 1
+    return (value - r0) // (2 * gamma2), r0
+
+
+def high_bits(value: int, gamma2: int) -> int:
+    return decompose(value, gamma2)[0]
+
+
+def low_bits(value: int, gamma2: int) -> int:
+    return decompose(value, gamma2)[1]
+
+
+def make_hint(z: int, r: int, gamma2: int) -> int:
+    """1 iff adding ``z`` to ``r`` changes the high bits."""
+    return int(high_bits(r, gamma2) != high_bits((r + z) % Q, gamma2))
+
+
+def use_hint(hint: int, r: int, gamma2: int) -> int:
+    """Recover the high bits of ``r + z`` from ``r`` and the hint bit."""
+    m = (Q - 1) // (2 * gamma2)
+    r1, r0 = decompose(r, gamma2)
+    if hint == 0:
+        return r1
+    if r0 > 0:
+        return (r1 + 1) % m
+    return (r1 - 1) % m
+
+
+# ---------------------------------------------------------------------------
+# Bit packing
+
+
+def bits_for(value: int) -> int:
+    return value.bit_length()
+
+
+def simple_bit_pack(coeffs: list, b: int) -> bytes:
+    """Pack coefficients in [0, b] using bitlen(b) bits each."""
+    width = bits_for(b)
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for c in coeffs:
+        acc |= c << acc_bits
+        acc_bits += width
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def simple_bit_unpack(data: bytes, b: int) -> list:
+    width = bits_for(b)
+    total = int.from_bytes(data, "little")
+    mask = (1 << width) - 1
+    return [(total >> (width * i)) & mask for i in range(N)]
+
+
+def bit_pack(coeffs: list, a: int, b: int) -> bytes:
+    """Pack centered coefficients in [-a, b] as b - c in bitlen(a+b) bits."""
+    return simple_bit_pack([b - centered(c) for c in coeffs], a + b)
+
+
+def bit_unpack(data: bytes, a: int, b: int) -> list:
+    """Inverse of :func:`bit_pack`; coefficients returned mod q."""
+    return [(b - z) % Q for z in simple_bit_unpack(data, a + b)]
+
+
+# ---------------------------------------------------------------------------
+# Parameter sets
+
+
+@dataclass(frozen=True)
+class MLDSAParams:
+    """One FIPS 204 parameter set."""
+
+    name: str
+    k: int
+    l: int
+    eta: int
+    tau: int
+    gamma1: int
+    gamma2: int
+    omega: int
+    ctilde_bytes: int
+
+    @property
+    def beta(self) -> int:
+        return self.tau * self.eta
+
+    @property
+    def z_bits(self) -> int:
+        return 1 + bits_for(self.gamma1 - 1)
+
+    @property
+    def w1_bits(self) -> int:
+        return bits_for((Q - 1) // (2 * self.gamma2) - 1)
+
+    @property
+    def eta_bits(self) -> int:
+        return bits_for(2 * self.eta)
+
+    @property
+    def public_key_bytes(self) -> int:
+        return 32 + 32 * self.k * (23 - D)
+
+    @property
+    def secret_key_bytes(self) -> int:
+        return (128 + 32 * (self.k + self.l) * self.eta_bits
+                + 32 * self.k * D)
+
+    @property
+    def signature_bytes(self) -> int:
+        return (self.ctilde_bytes + 32 * self.l * self.z_bits
+                + self.omega + self.k)
+
+
+ML_DSA_44 = MLDSAParams("ML-DSA-44", k=4, l=4, eta=2, tau=39,
+                        gamma1=1 << 17, gamma2=(Q - 1) // 88, omega=80,
+                        ctilde_bytes=32)
+ML_DSA_65 = MLDSAParams("ML-DSA-65", k=6, l=5, eta=4, tau=49,
+                        gamma1=1 << 19, gamma2=(Q - 1) // 32, omega=55,
+                        ctilde_bytes=48)
+ML_DSA_87 = MLDSAParams("ML-DSA-87", k=8, l=7, eta=2, tau=60,
+                        gamma1=1 << 19, gamma2=(Q - 1) // 32, omega=75,
+                        ctilde_bytes=64)
+
+PARAMETER_SETS = {p.name: p for p in (ML_DSA_44, ML_DSA_65, ML_DSA_87)}
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+
+
+def _rej_ntt_poly(seed: bytes) -> list:
+    """Sample a uniform NTT-domain polynomial by 23-bit rejection."""
+    xof = Shake128(seed)
+    coeffs = []
+    while len(coeffs) < N:
+        chunk = xof.read(3 * 168)
+        for i in range(0, len(chunk), 3):
+            value = (chunk[i] | (chunk[i + 1] << 8)
+                     | ((chunk[i + 2] & 0x7F) << 16))
+            if value < Q:
+                coeffs.append(value)
+                if len(coeffs) == N:
+                    break
+    return coeffs
+
+
+def _coeff_from_half_byte(z: int, eta: int):
+    if eta == 2 and z < 15:
+        return (2 - (z % 5)) % Q
+    if eta == 4 and z < 9:
+        return (4 - z) % Q
+    return None
+
+
+def _rej_bounded_poly(seed: bytes, eta: int) -> list:
+    """Sample a polynomial with coefficients in [-eta, eta]."""
+    xof = Shake256(seed)
+    coeffs = []
+    while len(coeffs) < N:
+        for byte in xof.read(136):
+            for z in (byte & 0x0F, byte >> 4):
+                c = _coeff_from_half_byte(z, eta)
+                if c is not None:
+                    coeffs.append(c)
+                    if len(coeffs) == N:
+                        return coeffs
+    return coeffs
+
+
+def expand_a(rho: bytes, params: MLDSAParams) -> list:
+    """ExpandA: the k x l public matrix, sampled in the NTT domain."""
+    return [[_rej_ntt_poly(rho + bytes([s, r])) for s in range(params.l)]
+            for r in range(params.k)]
+
+
+def expand_s(rho_prime: bytes, params: MLDSAParams) -> tuple:
+    """ExpandS: the short secret vectors (s1, s2)."""
+    s1 = [_rej_bounded_poly(rho_prime + r.to_bytes(2, "little"), params.eta)
+          for r in range(params.l)]
+    s2 = [_rej_bounded_poly(rho_prime + r.to_bytes(2, "little"), params.eta)
+          for r in range(params.l, params.l + params.k)]
+    return s1, s2
+
+
+def expand_mask(rho_pp: bytes, kappa: int, params: MLDSAParams) -> list:
+    """ExpandMask: the per-attempt commitment mask vector y."""
+    width = params.z_bits
+    vec = []
+    for r in range(params.l):
+        seed = rho_pp + (kappa + r).to_bytes(2, "little")
+        data = shake256(seed, 32 * width)
+        vec.append(bit_unpack(data, params.gamma1 - 1, params.gamma1))
+    return vec
+
+
+def sample_in_ball(seed: bytes, params: MLDSAParams) -> list:
+    """SampleInBall: a polynomial with tau coefficients of +-1."""
+    xof = Shake256(seed)
+    signs = int.from_bytes(xof.read(8), "little")
+    c = [0] * N
+    for i in range(N - params.tau, N):
+        while True:
+            j = xof.read(1)[0]
+            if j <= i:
+                break
+        c[i] = c[j]
+        c[j] = (1 if signs & 1 == 0 else Q - 1)
+        signs >>= 1
+    return c
+
+
+# ---------------------------------------------------------------------------
+# Hint packing
+
+
+def hint_bit_pack(hints: list, params: MLDSAParams) -> bytes:
+    """HintBitPack: sparse encoding of k hint polynomials (omega+k bytes)."""
+    out = bytearray(params.omega + params.k)
+    index = 0
+    for i, poly in enumerate(hints):
+        for j, bit in enumerate(poly):
+            if bit:
+                out[index] = j
+                index += 1
+        out[params.omega + i] = index
+    return bytes(out)
+
+
+def hint_bit_unpack(data: bytes, params: MLDSAParams):
+    """Strict inverse of :func:`hint_bit_pack`; None on malformed input."""
+    hints = [[0] * N for _ in range(params.k)]
+    index = 0
+    for i in range(params.k):
+        end = data[params.omega + i]
+        if end < index or end > params.omega:
+            return None
+        first = index
+        while index < end:
+            if index > first and data[index] <= data[index - 1]:
+                return None
+            hints[i][data[index]] = 1
+            index += 1
+    if any(data[i] != 0 for i in range(index, params.omega)):
+        return None
+    return hints
+
+
+# ---------------------------------------------------------------------------
+# Key/signature encodings
+
+
+def pk_encode(rho: bytes, t1: list, params: MLDSAParams) -> bytes:
+    packed = b"".join(simple_bit_pack(p, (1 << (23 - D)) - 1) for p in t1)
+    return rho + packed
+
+
+def pk_decode(data: bytes, params: MLDSAParams) -> tuple:
+    if len(data) != params.public_key_bytes:
+        raise ValueError(f"{params.name} public key must be "
+                         f"{params.public_key_bytes} bytes")
+    rho = data[:32]
+    per_poly = 32 * (23 - D)
+    t1 = []
+    for i in range(params.k):
+        chunk = data[32 + per_poly * i:32 + per_poly * (i + 1)]
+        t1.append(simple_bit_unpack(chunk, (1 << (23 - D)) - 1))
+    return rho, t1
+
+
+def sk_encode(rho: bytes, key: bytes, tr: bytes, s1: list, s2: list,
+              t0: list, params: MLDSAParams) -> bytes:
+    parts = [rho, key, tr]
+    parts += [bit_pack(p, params.eta, params.eta) for p in s1]
+    parts += [bit_pack(p, params.eta, params.eta) for p in s2]
+    parts += [bit_pack(p, (1 << (D - 1)) - 1, 1 << (D - 1)) for p in t0]
+    return b"".join(parts)
+
+
+def sk_decode(data: bytes, params: MLDSAParams) -> tuple:
+    if len(data) != params.secret_key_bytes:
+        raise ValueError(f"{params.name} secret key must be "
+                         f"{params.secret_key_bytes} bytes")
+    rho, key, tr = data[:32], data[32:64], data[64:128]
+    offset = 128
+    eta_len = 32 * params.eta_bits
+    s1 = []
+    for _ in range(params.l):
+        s1.append(bit_unpack(data[offset:offset + eta_len],
+                             params.eta, params.eta))
+        offset += eta_len
+    s2 = []
+    for _ in range(params.k):
+        s2.append(bit_unpack(data[offset:offset + eta_len],
+                             params.eta, params.eta))
+        offset += eta_len
+    t0 = []
+    t0_len = 32 * D
+    for _ in range(params.k):
+        t0.append(bit_unpack(data[offset:offset + t0_len],
+                             (1 << (D - 1)) - 1, 1 << (D - 1)))
+        offset += t0_len
+    return rho, key, tr, s1, s2, t0
+
+
+def w1_encode(w1: list, params: MLDSAParams) -> bytes:
+    bound = (Q - 1) // (2 * params.gamma2) - 1
+    return b"".join(simple_bit_pack(p, bound) for p in w1)
+
+
+def sig_encode(c_tilde: bytes, z: list, hints: list,
+               params: MLDSAParams) -> bytes:
+    packed_z = b"".join(bit_pack(p, params.gamma1 - 1, params.gamma1)
+                        for p in z)
+    return c_tilde + packed_z + hint_bit_pack(hints, params)
+
+
+def sig_decode(data: bytes, params: MLDSAParams):
+    if len(data) != params.signature_bytes:
+        return None
+    c_tilde = data[:params.ctilde_bytes]
+    z_len = 32 * params.z_bits
+    offset = params.ctilde_bytes
+    z = []
+    for _ in range(params.l):
+        z.append(bit_unpack(data[offset:offset + z_len],
+                            params.gamma1 - 1, params.gamma1))
+        offset += z_len
+    hints = hint_bit_unpack(data[offset:], params)
+    if hints is None:
+        return None
+    return c_tilde, z, hints
+
+
+# ---------------------------------------------------------------------------
+# The scheme
+
+
+class MLDSA:
+    """An ML-DSA instance for one parameter set.
+
+    >>> scheme = MLDSA(ML_DSA_44)
+    >>> pk, sk = scheme.key_gen(bytes(32))
+    >>> sig = scheme.sign(sk, b"attest me")
+    >>> scheme.verify(pk, b"attest me", sig)
+    True
+    """
+
+    def __init__(self, params: MLDSAParams = ML_DSA_44):
+        self.params = params
+
+    # -- key generation ----------------------------------------------------
+
+    def key_gen(self, seed: bytes = None) -> tuple:
+        """Generate (public_key, secret_key); deterministic in ``seed``.
+
+        The 32-byte ``seed`` is exactly what the paper's PQ bootrom stores
+        instead of the 2560-byte expanded key.
+        """
+        p = self.params
+        if seed is None:
+            seed = os.urandom(32)
+        if len(seed) != 32:
+            raise ValueError("ML-DSA seed must be 32 bytes")
+        expanded = shake256(seed + bytes([p.k, p.l]), 128)
+        rho, rho_prime, key = expanded[:32], expanded[32:96], expanded[96:]
+        a_hat = expand_a(rho, p)
+        s1, s2 = expand_s(rho_prime, p)
+        s1_hat = [ntt(poly) for poly in s1]
+        t = []
+        for r in range(p.k):
+            acc = [0] * N
+            for s in range(p.l):
+                acc = poly_add(acc, ntt_mul(a_hat[r][s], s1_hat[s]))
+            t.append(poly_add(intt(acc), s2[r]))
+        t1 = []
+        t0 = []
+        for poly in t:
+            highs, lows = zip(*(power2round(c) for c in poly))
+            t1.append(list(highs))
+            t0.append([low % Q for low in lows])
+        public = pk_encode(rho, t1, p)
+        tr = shake256(public, 64)
+        secret = sk_encode(rho, key, tr, s1, s2, t0, p)
+        return public, secret
+
+    # -- signing -----------------------------------------------------------
+
+    @staticmethod
+    def _format_message(message: bytes, context: bytes) -> bytes:
+        if len(context) > 255:
+            raise ValueError("context string must be at most 255 bytes")
+        return bytes([0, len(context)]) + context + message
+
+    def sign(self, secret: bytes, message: bytes, context: bytes = b"",
+             randomize: bool = False, _trace: dict = None) -> bytes:
+        """Sign ``message``; deterministic unless ``randomize`` is set.
+
+        ``_trace``, when given a dict, receives diagnostics used by the
+        TEE stack-sizing experiment: ``attempts`` and ``peak_stack_bytes``.
+        """
+        p = self.params
+        rho, key, tr, s1, s2, t0 = sk_decode(secret, p)
+        a_hat = expand_a(rho, p)
+        s1_hat = [ntt(poly) for poly in s1]
+        s2_hat = [ntt(poly) for poly in s2]
+        t0_hat = [ntt(poly) for poly in t0]
+        mu = shake256(tr + self._format_message(message, context), 64)
+        rnd = os.urandom(32) if randomize else bytes(32)
+        rho_pp = shake256(key + rnd + mu, 64)
+        kappa = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            y = expand_mask(rho_pp, kappa, p)
+            kappa += p.l
+            y_hat = [ntt(poly) for poly in y]
+            w = []
+            for r in range(p.k):
+                acc = [0] * N
+                for s in range(p.l):
+                    acc = poly_add(acc, ntt_mul(a_hat[r][s], y_hat[s]))
+                w.append(intt(acc))
+            w1 = [[high_bits(c, p.gamma2) for c in poly] for poly in w]
+            c_tilde = shake256(mu + w1_encode(w1, p), p.ctilde_bytes)
+            c = sample_in_ball(c_tilde, p)
+            c_hat = ntt(c)
+            z = [poly_add(y[s], intt(ntt_mul(c_hat, s1_hat[s])))
+                 for s in range(p.l)]
+            if infinity_norm(z) >= p.gamma1 - p.beta:
+                continue
+            w_minus_cs2 = [poly_sub(w[r], intt(ntt_mul(c_hat, s2_hat[r])))
+                           for r in range(p.k)]
+            r0_norm = max(abs(low_bits(c, p.gamma2))
+                          for poly in w_minus_cs2 for c in poly)
+            if r0_norm >= p.gamma2 - p.beta:
+                continue
+            ct0 = [intt(ntt_mul(c_hat, t0_hat[r])) for r in range(p.k)]
+            if infinity_norm(ct0) >= p.gamma2:
+                continue
+            hints = []
+            ones = 0
+            for r in range(p.k):
+                poly_hint = []
+                for j in range(N):
+                    bit = make_hint((-ct0[r][j]) % Q,
+                                    (w_minus_cs2[r][j] + ct0[r][j]) % Q,
+                                    p.gamma2)
+                    poly_hint.append(bit)
+                    ones += bit
+                hints.append(poly_hint)
+            if ones > p.omega:
+                continue
+            if _trace is not None:
+                _trace["attempts"] = attempts
+                _trace["peak_stack_bytes"] = self.signing_stack_bytes
+            return sig_encode(c_tilde, z, hints, p)
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self, public: bytes, message: bytes, signature: bytes,
+               context: bytes = b"") -> bool:
+        """Check a signature; False on any malformation or mismatch."""
+        p = self.params
+        try:
+            rho, t1 = pk_decode(public, p)
+        except ValueError:
+            return False
+        decoded = sig_decode(signature, p)
+        if decoded is None:
+            return False
+        c_tilde, z, hints = decoded
+        if infinity_norm(z) >= p.gamma1 - p.beta:
+            return False
+        a_hat = expand_a(rho, p)
+        tr = shake256(public, 64)
+        mu = shake256(tr + self._format_message(message, context), 64)
+        c = sample_in_ball(c_tilde, p)
+        c_hat = ntt(c)
+        z_hat = [ntt(poly) for poly in z]
+        t1_hat = [ntt([coef << D for coef in poly]) for poly in t1]
+        w1_prime = []
+        for r in range(p.k):
+            acc = [0] * N
+            for s in range(p.l):
+                acc = poly_add(acc, ntt_mul(a_hat[r][s], z_hat[s]))
+            acc = poly_sub(acc, ntt_mul(c_hat, t1_hat[r]))
+            w_approx = intt(acc)
+            w1_prime.append([use_hint(hints[r][j], w_approx[j], p.gamma2)
+                             for j in range(N)])
+        expected = shake256(mu + w1_encode(w1_prime, p), p.ctilde_bytes)
+        return expected == c_tilde
+
+    # -- resource model ----------------------------------------------------
+
+    @property
+    def signing_stack_bytes(self) -> int:
+        """Approximate C-implementation stack demand of signing.
+
+        Modelled on the PQClean reference implementation the paper uses:
+        the signing routine keeps the expanded matrix (k*l polys), five
+        vectors of length k or l and several temporaries as 32-bit
+        coefficient arrays on the stack.  For ML-DSA-44 this lands near
+        50 KB — far beyond Keystone's default 8 KB SM stack, which is why
+        the paper raises the per-core stack to 128 KB.
+        """
+        p = self.params
+        poly_bytes = 4 * N
+        polys = (p.k * p.l          # expanded A
+                 + 2 * p.l          # y, z
+                 + 3 * p.k          # w, w1, hint workspace
+                 + p.l + 2 * p.k    # s1, s2, t0
+                 + 4)               # c and temporaries
+        return polys * poly_bytes + 2048
+
+
+def key_gen(seed: bytes = None, params: MLDSAParams = ML_DSA_44) -> tuple:
+    """Module-level convenience: (public, secret) for ``params``."""
+    return MLDSA(params).key_gen(seed)
+
+
+def sign(secret: bytes, message: bytes,
+         params: MLDSAParams = ML_DSA_44, **kwargs) -> bytes:
+    """Module-level convenience around :meth:`MLDSA.sign`."""
+    return MLDSA(params).sign(secret, message, **kwargs)
+
+
+def verify(public: bytes, message: bytes, signature: bytes,
+           params: MLDSAParams = ML_DSA_44, **kwargs) -> bool:
+    """Module-level convenience around :meth:`MLDSA.verify`."""
+    return MLDSA(params).verify(public, message, signature, **kwargs)

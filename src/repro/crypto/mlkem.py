@@ -1,0 +1,402 @@
+"""Pure-Python ML-KEM (FIPS 203, a.k.a. CRYSTALS-Kyber).
+
+Kyber is the HADES flagship case study (paper Table I: the Kyber-CPA
+and Kyber-CCA design spaces; "We obtain the first arbitrary-order
+masked implementation of CRYSTALs-Kyber") and the natural key-
+establishment mechanism for CONVOLVE's long-term secure channels: a
+remote party encapsulates a shared secret to a device's enclave after
+verifying its attestation report.
+
+This module implements the full standard from scratch: the incomplete
+NTT over Z_3329[x]/(x^256+1), centred-binomial sampling, ciphertext
+compression, the K-PKE core and the Fujisaki-Okamoto transform with
+implicit rejection.  All three parameter sets are provided; the
+CONVOLVE flows use :data:`ML_KEM_768`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .keccak import Shake128, sha3_256, sha3_512, shake256
+
+Q = 3329
+N = 256
+ZETA = 17
+
+
+def _bitrev7(value: int) -> int:
+    result = 0
+    for _ in range(7):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+#: zeta^bitrev7(i) — butterfly twiddles of the 7-layer incomplete NTT.
+ZETAS = tuple(pow(ZETA, _bitrev7(i), Q) for i in range(128))
+#: zeta^(2*bitrev7(i)+1) — the per-pair constants of BaseCaseMultiply.
+GAMMAS = tuple(pow(ZETA, 2 * _bitrev7(i) + 1, Q) for i in range(128))
+
+_INV_128 = pow(128, Q - 2, Q)
+
+
+def ntt(coeffs: list) -> list:
+    """Forward NTT (FIPS 203 Algorithm 9)."""
+    a = list(coeffs)
+    k = 1
+    length = 128
+    while length >= 2:
+        start = 0
+        while start < N:
+            zeta = ZETAS[k]
+            k += 1
+            for j in range(start, start + length):
+                t = zeta * a[j + length] % Q
+                a[j + length] = (a[j] - t) % Q
+                a[j] = (a[j] + t) % Q
+            start += 2 * length
+        length //= 2
+    return a
+
+
+def intt(coeffs: list) -> list:
+    """Inverse NTT (FIPS 203 Algorithm 10)."""
+    a = list(coeffs)
+    k = 127
+    length = 2
+    while length <= 128:
+        start = 0
+        while start < N:
+            zeta = ZETAS[k]
+            k -= 1
+            for j in range(start, start + length):
+                t = a[j]
+                a[j] = (t + a[j + length]) % Q
+                a[j + length] = zeta * (a[j + length] - t) % Q
+            start += 2 * length
+        length *= 2
+    return [x * _INV_128 % Q for x in a]
+
+
+def ntt_mul(a: list, b: list) -> list:
+    """Pairwise product in the NTT domain (128 degree-1 factors)."""
+    c = [0] * N
+    for i in range(128):
+        a0, a1 = a[2 * i], a[2 * i + 1]
+        b0, b1 = b[2 * i], b[2 * i + 1]
+        c[2 * i] = (a0 * b0 + a1 * b1 % Q * GAMMAS[i]) % Q
+        c[2 * i + 1] = (a0 * b1 + a1 * b0) % Q
+    return c
+
+
+def poly_add(a: list, b: list) -> list:
+    return [(x + y) % Q for x, y in zip(a, b)]
+
+
+def poly_sub(a: list, b: list) -> list:
+    return [(x - y) % Q for x, y in zip(a, b)]
+
+
+# ---------------------------------------------------------------------------
+# Compression and byte encodings
+
+
+def compress(value: int, bits: int) -> int:
+    """Compress_d: round(2^d / q * x) mod 2^d."""
+    return ((value << bits) + Q // 2) // Q % (1 << bits)
+
+
+def decompress(value: int, bits: int) -> int:
+    """Decompress_d: round(q / 2^d * y)."""
+    return (value * Q + (1 << (bits - 1))) >> bits
+
+
+def byte_encode(coeffs: list, bits: int) -> bytes:
+    """Pack each coefficient into ``bits`` bits, little-endian order."""
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for c in coeffs:
+        acc |= c << acc_bits
+        acc_bits += bits
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def byte_decode(data: bytes, bits: int) -> list:
+    total = int.from_bytes(data, "little")
+    mask = (1 << bits) - 1
+    return [(total >> (bits * i)) & mask for i in range(N)]
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+
+
+def sample_ntt(seed: bytes) -> list:
+    """SampleNTT: uniform NTT-domain polynomial by 12-bit rejection."""
+    xof = Shake128(seed)
+    coeffs = []
+    while len(coeffs) < N:
+        chunk = xof.read(3 * 168)
+        for i in range(0, len(chunk), 3):
+            d1 = chunk[i] | ((chunk[i + 1] & 0x0F) << 8)
+            d2 = (chunk[i + 1] >> 4) | (chunk[i + 2] << 4)
+            if d1 < Q:
+                coeffs.append(d1)
+                if len(coeffs) == N:
+                    break
+            if d2 < Q and len(coeffs) < N:
+                coeffs.append(d2)
+                if len(coeffs) == N:
+                    break
+    return coeffs
+
+
+def sample_cbd(data: bytes, eta: int) -> list:
+    """SamplePolyCBD: centred binomial distribution from 64*eta bytes."""
+    if len(data) != 64 * eta:
+        raise ValueError(f"CBD_{eta} needs {64 * eta} bytes")
+    bits = int.from_bytes(data, "little")
+    coeffs = []
+    for i in range(N):
+        a = 0
+        b = 0
+        for j in range(eta):
+            a += (bits >> (2 * i * eta + j)) & 1
+            b += (bits >> (2 * i * eta + eta + j)) & 1
+        coeffs.append((a - b) % Q)
+    return coeffs
+
+
+def _prf(seed: bytes, nonce: int, eta: int) -> bytes:
+    return shake256(seed + bytes([nonce]), 64 * eta)
+
+
+def _g(data: bytes) -> tuple:
+    digest = sha3_512(data)
+    return digest[:32], digest[32:]
+
+
+def _j(data: bytes) -> bytes:
+    return shake256(data, 32)
+
+
+# ---------------------------------------------------------------------------
+# Parameter sets
+
+
+@dataclass(frozen=True)
+class MLKEMParams:
+    """One FIPS 203 parameter set."""
+
+    name: str
+    k: int
+    eta1: int
+    eta2: int
+    du: int
+    dv: int
+
+    @property
+    def ek_bytes(self) -> int:
+        return 384 * self.k + 32
+
+    @property
+    def dk_bytes(self) -> int:
+        return 768 * self.k + 96
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        return 32 * (self.du * self.k + self.dv)
+
+
+ML_KEM_512 = MLKEMParams("ML-KEM-512", k=2, eta1=3, eta2=2, du=10, dv=4)
+ML_KEM_768 = MLKEMParams("ML-KEM-768", k=3, eta1=2, eta2=2, du=10, dv=4)
+ML_KEM_1024 = MLKEMParams("ML-KEM-1024", k=4, eta1=2, eta2=2, du=11,
+                          dv=5)
+
+KEM_PARAMETER_SETS = {p.name: p for p in (ML_KEM_512, ML_KEM_768,
+                                          ML_KEM_1024)}
+
+SHARED_SECRET_LEN = 32
+
+
+# ---------------------------------------------------------------------------
+# K-PKE (the CPA-secure core — the paper's "Kyber-CPA")
+
+
+def _expand_matrix(rho: bytes, k: int, transpose: bool = False) -> list:
+    matrix = []
+    for i in range(k):
+        row = []
+        for j in range(k):
+            if transpose:
+                row.append(sample_ntt(rho + bytes([i, j])))
+            else:
+                row.append(sample_ntt(rho + bytes([j, i])))
+        matrix.append(row)
+    return matrix
+
+
+def _pke_keygen(d: bytes, params: MLKEMParams) -> tuple:
+    rho, sigma = _g(d + bytes([params.k]))
+    a_hat = _expand_matrix(rho, params.k)
+    nonce = 0
+    s = []
+    for _ in range(params.k):
+        s.append(sample_cbd(_prf(sigma, nonce, params.eta1),
+                            params.eta1))
+        nonce += 1
+    e = []
+    for _ in range(params.k):
+        e.append(sample_cbd(_prf(sigma, nonce, params.eta1),
+                            params.eta1))
+        nonce += 1
+    s_hat = [ntt(poly) for poly in s]
+    e_hat = [ntt(poly) for poly in e]
+    t_hat = []
+    for i in range(params.k):
+        acc = [0] * N
+        for j in range(params.k):
+            acc = poly_add(acc, ntt_mul(a_hat[i][j], s_hat[j]))
+        t_hat.append(poly_add(acc, e_hat[i]))
+    ek = b"".join(byte_encode(poly, 12) for poly in t_hat) + rho
+    dk = b"".join(byte_encode(poly, 12) for poly in s_hat)
+    return ek, dk
+
+
+def _pke_encrypt(ek: bytes, message: bytes, randomness: bytes,
+                 params: MLKEMParams) -> bytes:
+    k = params.k
+    t_hat = [byte_decode(ek[384 * i:384 * (i + 1)], 12)
+             for i in range(k)]
+    rho = ek[384 * k:]
+    at_hat = _expand_matrix(rho, k, transpose=True)
+    nonce = 0
+    y = []
+    for _ in range(k):
+        y.append(sample_cbd(_prf(randomness, nonce, params.eta1),
+                            params.eta1))
+        nonce += 1
+    e1 = []
+    for _ in range(k):
+        e1.append(sample_cbd(_prf(randomness, nonce, params.eta2),
+                             params.eta2))
+        nonce += 1
+    e2 = sample_cbd(_prf(randomness, nonce, params.eta2), params.eta2)
+    y_hat = [ntt(poly) for poly in y]
+    u = []
+    for i in range(k):
+        acc = [0] * N
+        for j in range(k):
+            acc = poly_add(acc, ntt_mul(at_hat[i][j], y_hat[j]))
+        u.append(poly_add(intt(acc), e1[i]))
+    message_bits = byte_decode(message, 1)
+    mu = [decompress(bit, 1) for bit in message_bits]
+    acc = [0] * N
+    for j in range(k):
+        acc = poly_add(acc, ntt_mul(t_hat[j], y_hat[j]))
+    v = poly_add(poly_add(intt(acc), e2), mu)
+    c1 = b"".join(byte_encode([compress(c, params.du) for c in poly],
+                              params.du) for poly in u)
+    c2 = byte_encode([compress(c, params.dv) for c in v], params.dv)
+    return c1 + c2
+
+
+def _pke_decrypt(dk: bytes, ciphertext: bytes,
+                 params: MLKEMParams) -> bytes:
+    k = params.k
+    du_bytes = 32 * params.du
+    u = []
+    for i in range(k):
+        packed = ciphertext[du_bytes * i:du_bytes * (i + 1)]
+        u.append([decompress(c, params.du)
+                  for c in byte_decode(packed, params.du)])
+    v = [decompress(c, params.dv)
+         for c in byte_decode(ciphertext[du_bytes * k:], params.dv)]
+    s_hat = [byte_decode(dk[384 * i:384 * (i + 1)], 12)
+             for i in range(k)]
+    acc = [0] * N
+    for j in range(k):
+        acc = poly_add(acc, ntt_mul(s_hat[j], ntt(u[j])))
+    w = poly_sub(v, intt(acc))
+    return byte_encode([compress(c, 1) for c in w], 1)
+
+
+# ---------------------------------------------------------------------------
+# The KEM (FO transform with implicit rejection)
+
+
+class MLKEM:
+    """An ML-KEM instance for one parameter set.
+
+    >>> kem = MLKEM(ML_KEM_768)
+    >>> ek, dk = kem.key_gen(bytes(32), bytes(32))
+    >>> key, ct = kem.encaps(ek, bytes(32))
+    >>> kem.decaps(dk, ct) == key
+    True
+    """
+
+    def __init__(self, params: MLKEMParams = ML_KEM_768):
+        self.params = params
+
+    def key_gen(self, d: bytes = None, z: bytes = None) -> tuple:
+        """Generate (encapsulation key, decapsulation key).
+
+        Deterministic in the 32-byte seeds ``d`` and ``z`` — like
+        ML-DSA, a device can store 64 bytes instead of 2400.
+        """
+        d = os.urandom(32) if d is None else d
+        z = os.urandom(32) if z is None else z
+        if len(d) != 32 or len(z) != 32:
+            raise ValueError("ML-KEM seeds must be 32 bytes")
+        ek, dk_pke = _pke_keygen(d, self.params)
+        dk = dk_pke + ek + sha3_256(ek) + z
+        return ek, dk
+
+    def encaps(self, ek: bytes, m: bytes = None) -> tuple:
+        """Encapsulate: returns (shared_secret, ciphertext)."""
+        if len(ek) != self.params.ek_bytes:
+            raise ValueError(f"{self.params.name} encapsulation key "
+                             f"must be {self.params.ek_bytes} bytes")
+        # Modulus check (FIPS 203 input validation): every encoded
+        # coefficient must already be reduced.
+        for i in range(self.params.k):
+            coeffs = byte_decode(ek[384 * i:384 * (i + 1)], 12)
+            if any(c >= Q for c in coeffs):
+                raise ValueError("encapsulation key not reduced mod q")
+        m = os.urandom(32) if m is None else m
+        if len(m) != 32:
+            raise ValueError("encapsulation randomness must be 32 bytes")
+        key, randomness = _g(m + sha3_256(ek))
+        ciphertext = _pke_encrypt(ek, m, randomness, self.params)
+        return key, ciphertext
+
+    def decaps(self, dk: bytes, ciphertext: bytes) -> bytes:
+        """Decapsulate; implicit rejection on malformed ciphertexts."""
+        params = self.params
+        if len(dk) != params.dk_bytes:
+            raise ValueError(f"{params.name} decapsulation key must be "
+                             f"{params.dk_bytes} bytes")
+        if len(ciphertext) != params.ciphertext_bytes:
+            raise ValueError(f"{params.name} ciphertext must be "
+                             f"{params.ciphertext_bytes} bytes")
+        dk_pke = dk[:384 * params.k]
+        ek = dk[384 * params.k:768 * params.k + 32]
+        h_ek = dk[768 * params.k + 32:768 * params.k + 64]
+        z = dk[768 * params.k + 64:]
+        m_prime = _pke_decrypt(dk_pke, ciphertext, params)
+        key_prime, randomness_prime = _g(m_prime + h_ek)
+        rejection_key = _j(z + ciphertext)
+        ciphertext_prime = _pke_encrypt(ek, m_prime, randomness_prime,
+                                        params)
+        if ciphertext != ciphertext_prime:
+            return rejection_key        # implicit rejection
+        return key_prime

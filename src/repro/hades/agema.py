@@ -1,0 +1,83 @@
+"""AGEMA-style baseline: post-hoc masking of synthesized netlists.
+
+AGEMA (Knichel et al., TCHES 2022) automates masking by *post-
+processing a synthesized netlist*: every AND gate is replaced by an HPC
+gadget and pipeline registers are inserted across the full cut of every
+gadget layer.  Because the tool sees only gates — not the template-
+level dataflow — it cannot retime, share refresh randomness, or
+register just the live intermediates.
+
+The paper's claim (Section III-A): "HADES produces adders which
+outperform those generated with AGEMA, which applies straight-forward
+post-processing to synthesized netlists."  This module reproduces the
+baseline so the claim can be benchmarked
+(:mod:`benchmarks.bench_agema_comparison`).
+
+Model of the AGEMA overheads relative to the HADES-native assembly
+(:func:`repro.hades.library.adders.assemble_metrics`):
+
+* every gadget layer registers the *entire* datapath width, not just
+  the live carry signals — a ``width x depth`` flop sheet;
+* the netlist's XOR cloud is duplicated per share without the
+  common-subexpression sharing a template can apply (~15% extra);
+* synchronisation registers are inserted at the primary inputs and
+  outputs of each gadget stage (no retiming across gadget boundaries),
+  costing two extra latency cycles;
+* fresh randomness is not shared between gadgets in the same layer
+  (~20% extra bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .masking import (and_gadget_area_ge, and_gadget_latency_stages,
+                      and_gadget_randomness_bits, linear_area_factor,
+                      register_area_ge)
+from .metrics import Metrics
+from .template import DesignContext
+from .library.adders import netlist_stats
+
+_XOR_GE = 2.2
+_LINEAR_DUPLICATION_PENALTY = 1.15
+_RANDOMNESS_SHARING_PENALTY = 1.20
+_SYNC_LATENCY_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class AgemaResult:
+    """A masked netlist produced by the baseline flow."""
+
+    architecture: str
+    params: dict
+    metrics: Metrics
+
+
+def agema_mask_netlist(stats: dict, context: DesignContext,
+                       width: int) -> Metrics:
+    """Apply AGEMA-style post-processing to netlist statistics."""
+    order = context.masking_order
+    gadget_area = stats["and_gates"] * and_gadget_area_ge(order)
+    linear_area = (stats["xor_gates"] * _XOR_GE
+                   * linear_area_factor(order)
+                   * _LINEAR_DUPLICATION_PENALTY)
+    # Full-width register sheets at every gadget layer.
+    stages = stats["and_depth"] * and_gadget_latency_stages(order)
+    pipeline_area = register_area_ge(width * max(stages, 0), order)
+    state_area = register_area_ge(stats["state_bits"], order)
+    area = (gadget_area + linear_area + pipeline_area + state_area) / 1000.0
+    latency = (stats["base_cycles"] * max(1.0, stats["path_factor"])
+               + stages + (_SYNC_LATENCY_CYCLES if order > 0 else 0))
+    randomness = (stats["and_gates"] * and_gadget_randomness_bits(order)
+                  * (_RANDOMNESS_SHARING_PENALTY if order > 0 else 1.0))
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def agema_adder(architecture: str, params: dict,
+                context: DesignContext) -> AgemaResult:
+    """Mask one adder design with the AGEMA baseline flow."""
+    stats = netlist_stats(architecture, params, context.width)
+    metrics = agema_mask_netlist(stats, context, context.width)
+    return AgemaResult(architecture=architecture, params=dict(params),
+                       metrics=metrics)

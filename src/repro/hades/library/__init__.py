@@ -1,0 +1,42 @@
+"""The HADES template library: every Table I case study.
+
+========================  =================================  ==========
+factory                   Table I row                        configs
+========================  =================================  ==========
+``keccak()``              Keccak                                     14
+``adder_mod_q()``         AdderModQ                                  42
+``sparse_polymul()``      Sparse Polynomial Multiplication          372
+``chacha20()``            ChaCha20                                 1080
+``aes256()``              AES                                      1440
+``polymul()``             Polynomial Multiplication                1302
+``kyber_cpa()``           Kyber-CPA                               40362
+``kyber_cca()``           Kyber-CCA                             1148364
+========================  =================================  ==========
+"""
+
+from .adders import (adder_family, adder_mod_q, arx_adder_family,
+                     assemble_metrics, netlist_stats)
+from .aes import aes256
+from .chacha import chacha20
+from .keccak import keccak, keccak_candidates
+from .kyber import kyber_cca, kyber_cpa
+from .polymul import polymul, sparse_polymul
+
+TABLE_I_ROWS = (
+    ("Keccak", keccak, 14),
+    ("AdderModQ", adder_mod_q, 42),
+    ("Sparse Polynomial Multiplication", sparse_polymul, 372),
+    ("ChaCha20", chacha20, 1080),
+    ("AES", aes256, 1440),
+    ("Polynomial Multiplication", polymul, 1302),
+    ("Kyber-CPA", kyber_cpa, 40362),
+    ("Kyber-CCA", kyber_cca, 1148364),
+)
+
+__all__ = [
+    "adder_family", "arx_adder_family", "adder_mod_q",
+    "assemble_metrics", "netlist_stats",
+    "aes256", "chacha20", "keccak", "keccak_candidates",
+    "kyber_cca", "kyber_cpa", "polymul", "sparse_polymul",
+    "TABLE_I_ROWS",
+]

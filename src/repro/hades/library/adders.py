@@ -1,0 +1,284 @@
+"""Adder templates: the workhorse subcomponents of the HADES library.
+
+Adders appear as nested slots in almost every other template (polynomial
+multipliers, ChaCha's ARX network, Kyber's butterflies), and they are the
+unit HADES is compared against AGEMA on ("HADES produces adders which
+outperform those generated with AGEMA").
+
+The standard family exposes 31 configurations:
+
+=================  ==========================================  ======
+architecture       local parameters                            counts
+=================  ==========================================  ======
+ripple_carry       —                                                1
+carry_lookahead    block in {2, 4, 8, 16}                           4
+carry_skip         block in {2, 4, 8, 16}                           4
+carry_select       block in {2, 4, 8, 16}                           4
+carry_increment    block in {2, 4, 8, 16}                           4
+parallel_prefix    topology in {KS, BK, SK, HC, LF} x radix 2/4    10
+carry_save_hybrid  compressor in {3:2, 4:2}                         2
+digit_serial       digit in {8, 16}                                 2
+=================  ==========================================  ======
+
+The ARX variant (for ChaCha's mod-2^32 additions) drops the carry-save
+hybrids (no redundant form survives the XOR/rotate feedback), drops the
+Ladner-Fischer prefix topology and widens the serial digit choice —
+30 configurations.
+
+Every architecture is described by a *netlist statistics* function
+(AND gates, AND depth, XOR gates, cycles, path, state bits) from which
+the masked cost is assembled: masking replaces each AND by an HPC
+gadget (area quadratic in shares, d(d+1)/2 fresh bits each) and inserts
+one register stage per AND level of the carry network.  The same
+statistics feed the AGEMA baseline (:mod:`repro.hades.agema`), which
+consumes the identical synthesized netlist but masks it post hoc.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..masking import (and_gadget_area_ge, and_gadget_latency_stages,
+                       and_gadget_randomness_bits, linear_area_factor,
+                       register_area_ge)
+from ..metrics import Metrics
+from ..template import Template
+
+_FULL_ADDER_GE = 5.5
+_XOR_GE = 2.2
+
+
+def _log2(w: int) -> int:
+    return max(1, math.ceil(math.log2(w)))
+
+
+# -- netlist statistics per architecture ------------------------------------
+# Each returns a dict with: and_gates, and_depth, xor_gates, base_cycles,
+# path_factor, state_bits.
+
+
+def _ripple_stats(params: dict, width: int) -> dict:
+    return {"and_gates": 3 * width, "and_depth": width,
+            "xor_gates": 2 * width, "base_cycles": 1,
+            "path_factor": 2 * width / 16.0, "state_bits": 0}
+
+
+def _lookahead_stats(params: dict, width: int) -> dict:
+    block = params["block"]
+    blocks = math.ceil(width / block)
+    return {"and_gates": width * (block + 1),
+            "and_depth": 2 * math.ceil(math.log2(block + 1)) + blocks,
+            "xor_gates": 3 * width, "base_cycles": 1,
+            "path_factor": (2 * blocks + block) / 16.0, "state_bits": 0}
+
+
+def _skip_stats(params: dict, width: int) -> dict:
+    block = params["block"]
+    blocks = math.ceil(width / block)
+    return {"and_gates": 3 * width + blocks,
+            "and_depth": block + blocks, "xor_gates": 2 * width,
+            "base_cycles": 1,
+            "path_factor": (2 * block + blocks) / 16.0, "state_bits": 0}
+
+
+def _select_stats(params: dict, width: int) -> dict:
+    block = params["block"]
+    blocks = math.ceil(width / block)
+    return {"and_gates": 6 * width, "and_depth": block + blocks,
+            "xor_gates": 4 * width + blocks, "base_cycles": 1,
+            "path_factor": (2 * block + blocks) / 16.0, "state_bits": 0}
+
+
+def _increment_stats(params: dict, width: int) -> dict:
+    block = params["block"]
+    blocks = math.ceil(width / block)
+    return {"and_gates": 4 * width, "and_depth": block + blocks - 1,
+            "xor_gates": 3 * width, "base_cycles": 1,
+            "path_factor": (2 * block + blocks - 1) / 16.0,
+            "state_bits": 0}
+
+
+_PREFIX_OP_COUNT = {
+    "kogge_stone": lambda w: w * _log2(w),
+    "brent_kung": lambda w: 2 * w - _log2(w) - 2,
+    "sklansky": lambda w: (w // 2) * _log2(w),
+    "han_carlson": lambda w: (w // 2) * _log2(w) + w,
+    "ladner_fischer": lambda w: (w // 2) * _log2(w) + w // 2,
+}
+
+_PREFIX_DEPTH = {
+    "kogge_stone": lambda w: _log2(w),
+    "brent_kung": lambda w: 2 * _log2(w) - 1,
+    "sklansky": lambda w: _log2(w),
+    "han_carlson": lambda w: _log2(w) + 1,
+    "ladner_fischer": lambda w: _log2(w) + 1,
+}
+
+
+def _prefix_stats(params: dict, width: int) -> dict:
+    cells = _PREFIX_OP_COUNT[params["topology"]](width)
+    depth = _PREFIX_DEPTH[params["topology"]](width)
+    if params["radix"] == 4:
+        cells = math.ceil(cells * 1.4)        # fatter cells ...
+        depth = max(1, math.ceil(depth / 2))  # ... half the levels
+    # Each prefix cell: 2 ANDs (g, p merge) + 1 XOR.
+    return {"and_gates": 2 * cells, "and_depth": depth,
+            "xor_gates": cells + 2 * width, "base_cycles": 1,
+            "path_factor": depth / 8.0, "state_bits": 0}
+
+
+def _carry_save_stats(params: dict, width: int) -> dict:
+    rows = 2 if params["compressor"] == "4:2" else 1
+    return {"and_gates": 3 * width * rows, "and_depth": 2 * rows,
+            "xor_gates": 3 * width * rows, "base_cycles": 1,
+            "path_factor": (2 + rows) / 8.0, "state_bits": 2 * width}
+
+
+def _serial_stats(params: dict, width: int) -> dict:
+    digit = params["digit"]
+    return {"and_gates": 3 * digit, "and_depth": digit,
+            "xor_gates": 2 * digit,
+            "base_cycles": math.ceil(width / digit),
+            "path_factor": digit / 16.0, "state_bits": width + digit}
+
+
+NETLIST_STATS = {
+    "ripple_carry": _ripple_stats,
+    "carry_lookahead": _lookahead_stats,
+    "carry_skip": _skip_stats,
+    "carry_select": _select_stats,
+    "carry_increment": _increment_stats,
+    "parallel_prefix": _prefix_stats,
+    "carry_save_hybrid": _carry_save_stats,
+    "digit_serial": _serial_stats,
+}
+
+
+def netlist_stats(architecture: str, params: dict, width: int) -> dict:
+    """Gate-level statistics of one adder design — what a synthesized
+    netlist hands to AGEMA-style post-processing."""
+    return NETLIST_STATS[architecture](params, width)
+
+
+def assemble_metrics(stats: dict, context) -> Metrics:
+    """HADES-native cost assembly from netlist statistics.
+
+    Masked designs pay one HPC gadget per AND and one register stage
+    per AND level; only live carry intermediates are registered (the
+    template knows the dataflow — the advantage over netlist-level
+    post-processing).
+    """
+    order = context.masking_order
+    area = (stats["and_gates"] * and_gadget_area_ge(order)
+            + stats["xor_gates"] * _XOR_GE * linear_area_factor(order)
+            + register_area_ge(stats["state_bits"], order)) / 1000.0
+    stages = stats["and_depth"] * and_gadget_latency_stages(order)
+    latency = (stats["base_cycles"] * max(1.0, stats["path_factor"])
+               + stages)
+    randomness = stats["and_gates"] * and_gadget_randomness_bits(order)
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def _cost_for(architecture: str):
+    def cost(params, subs, context):
+        return assemble_metrics(
+            netlist_stats(architecture, params, context.width), context)
+    return cost
+
+
+def adder_family() -> tuple:
+    """The standard 31-configuration adder slot family."""
+    return (
+        Template("ripple_carry", _cost_for("ripple_carry")),
+        Template("carry_lookahead", _cost_for("carry_lookahead"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_skip", _cost_for("carry_skip"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_select", _cost_for("carry_select"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_increment", _cost_for("carry_increment"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("parallel_prefix", _cost_for("parallel_prefix"),
+                 parameters={"topology": tuple(sorted(_PREFIX_OP_COUNT)),
+                             "radix": (2, 4)}),
+        Template("carry_save_hybrid", _cost_for("carry_save_hybrid"),
+                 parameters={"compressor": ("3:2", "4:2")}),
+        Template("digit_serial", _cost_for("digit_serial"),
+                 parameters={"digit": (8, 16)}),
+    )
+
+
+def arx_adder_family() -> tuple:
+    """The 30-configuration mod-2^32 adder family used inside ChaCha.
+
+    Carry-save forms cannot cross the XOR/rotate feedback of an ARX
+    round, and the Ladner-Fischer topology is dropped in favour of a
+    finer digit-serial sweep.
+    """
+    arx_topologies = tuple(sorted(set(_PREFIX_OP_COUNT)
+                                  - {"ladner_fischer"}))
+    return (
+        Template("ripple_carry", _cost_for("ripple_carry")),
+        Template("carry_lookahead", _cost_for("carry_lookahead"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_skip", _cost_for("carry_skip"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_select", _cost_for("carry_select"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("carry_increment", _cost_for("carry_increment"),
+                 parameters={"block": (2, 4, 8, 16)}),
+        Template("parallel_prefix", _cost_for("parallel_prefix"),
+                 parameters={"topology": arx_topologies, "radix": (2, 4)}),
+        Template("digit_serial", _cost_for("digit_serial"),
+                 parameters={"digit": (1, 2, 4, 8, 16)}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# AdderModQ: the modular adder of lattice cryptography (Table I: 42).
+
+_REDUCTION_OVERHEAD = {
+    # (area factor, latency add, extra ANDs factor)
+    "conditional_subtract": (2.0, 1.0, 1.0),
+    "barrett": (2.6, 2.0, 1.5),
+    "montgomery": (2.4, 2.0, 1.4),
+    "pseudo_mersenne": (1.6, 0.5, 0.6),
+    "lazy": (1.2, 0.0, 0.2),
+    "lut": (3.5, 1.0, 0.1),
+    "redundant": (1.8, 0.5, 0.8),
+}
+
+_MOD_CORE_STATS = {
+    "ripple": lambda w: _ripple_stats({}, w),
+    "cla4": lambda w: _lookahead_stats({"block": 4}, w),
+    "kogge_stone": lambda w: _prefix_stats(
+        {"topology": "kogge_stone", "radix": 2}, w),
+    "brent_kung": lambda w: _prefix_stats(
+        {"topology": "brent_kung", "radix": 2}, w),
+    "sklansky": lambda w: _prefix_stats(
+        {"topology": "sklansky", "radix": 2}, w),
+    "han_carlson": lambda w: _prefix_stats(
+        {"topology": "han_carlson", "radix": 2}, w),
+}
+
+
+def _mod_q_cost(params, subs, context):
+    width = context.width
+    stats = dict(_MOD_CORE_STATS[params["core"]](width))
+    area_factor, latency_add, and_factor = \
+        _REDUCTION_OVERHEAD[params["reduction"]]
+    stats["and_gates"] = math.ceil(stats["and_gates"] * (1 + and_factor))
+    stats["xor_gates"] = math.ceil(stats["xor_gates"] * area_factor)
+    stats["base_cycles"] = stats["base_cycles"] + latency_add
+    stats["path_factor"] = stats["path_factor"] * (1 + latency_add / 4.0)
+    return assemble_metrics(stats, context)
+
+
+def adder_mod_q() -> Template:
+    """Modular adder template: 6 cores x 7 reductions = 42 configurations
+    (Table I row "AdderModQ")."""
+    return Template(
+        "adder_mod_q", _mod_q_cost,
+        parameters={"core": tuple(sorted(_MOD_CORE_STATS)),
+                    "reduction": tuple(sorted(_REDUCTION_OVERHEAD))})

@@ -1,0 +1,223 @@
+"""AES-256 hardware template — the CONVOLVE payload cipher (Table II).
+
+"For CONVOLVE, we are specifically interested in AES-256 as the
+algorithm for payload encryption" (Section III-A).  The template spans
+1440 configurations:
+
+==================  ========================================  ======
+parameter           choices                                   count
+==================  ========================================  ======
+datapath            8 / 32 / 128 bits                             3
+sbox                lut, canright, boyar_peralta,
+                    comp_gf256, comp_gf16                         5
+pipeline            0-3 extra register cuts                       4
+key_schedule        online, precomputed                           2
+mixcolumns          xtime_chain, factored, lut                    3
+round_unroll        1 (round-based), 14 (fully unrolled)          2
+sbox_instances      shared, parallel                              2
+==================  ========================================  ======
+
+Masking: table-lookup S-boxes cannot be masked, so ``lut`` is
+infeasible at d >= 1; the tower-field S-boxes replace their AND gates
+by HPC gadgets with per-architecture AND counts, pipeline stages and
+per-evaluation fresh-randomness budgets.  Randomness is reported as
+fresh bits per cycle (the RNG bandwidth the design demands) — the
+quantity that separates Table II's R-optimal designs: a fully unrolled
+masked pipeline keeps all 14 x 20 S-boxes drawing randomness every
+cycle, while a byte-serial design with one shared S-box draws one
+S-box's worth.
+
+The constants are calibrated against Table II; EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from ..masking import and_gadget_area_ge, and_gadget_randomness_bits
+from ..metrics import Metrics
+from ..template import InfeasibleConfiguration, Template
+
+ROUNDS = 14  # AES-256
+
+# Per-S-box-architecture properties.
+#   area_ge: unmasked combinational area
+#   linear_ge: linear (XOR) part, replicated per share when masked
+#   ands: AND gates that become HPC gadgets when masked
+#   stages: register stages of the masked S-box (HPC layers)
+#   rand_base: fresh bits per evaluation at d(d+1)/2 = 1
+#   serial_penalty: extra cycles per byte in the 8-bit datapath (masked)
+_SBOX = {
+    "lut": {"area_ge": 1638.0, "linear_ge": 0.0, "ands": 0,
+            "stages": 0, "internal_bits": 0, "rand_base": 0,
+            "serial_refresh": 0, "serial_penalty": 0, "maskable": False},
+    "canright": {"area_ge": 260.0, "linear_ge": 420.0, "ands": 36,
+                 "stages": 6, "internal_bits": 18, "rand_base": 72,
+                 "serial_refresh": 72, "serial_penalty": 7,
+                 "maskable": True},
+    "boyar_peralta": {"area_ge": 310.0, "linear_ge": 380.0, "ands": 32,
+                      "stages": 5, "internal_bits": 40, "rand_base": 58,
+                      "serial_refresh": 30, "serial_penalty": 9,
+                      "maskable": True},
+    "comp_gf256": {"area_ge": 420.0, "linear_ge": 450.0, "ands": 45,
+                   "stages": 6, "internal_bits": 30, "rand_base": 90,
+                   "serial_refresh": 30, "serial_penalty": 5,
+                   "maskable": True},
+    "comp_gf16": {"area_ge": 235.0, "linear_ge": 270.0, "ands": 34,
+                  "stages": 8, "internal_bits": 20, "rand_base": 40,
+                  "serial_refresh": 28, "serial_penalty": 14,
+                  "maskable": True},
+}
+
+_MIXCOLUMNS_GE = {"xtime_chain": 290.0, "factored": 335.0, "lut": 620.0}
+
+_FF_GE = 4.5
+_SERIAL_REGFILE_GE = 384 * 12.0   # byte-addressable state/key storage
+_WORD_REGFILE_GE = 384 * 9.0      # word-addressable state/key storage
+
+
+def _sbox_area_ge(arch: dict, order: int) -> float:
+    """Area of one S-box instance at masking order ``order``."""
+    if order == 0:
+        return arch["area_ge"]
+    shares = order + 1
+    gadgets = arch["ands"] * and_gadget_area_ge(order)
+    linear = arch["linear_ge"] * shares
+    stage_registers = (arch["stages"] * arch["internal_bits"] * _FF_GE
+                       * shares)
+    return gadgets + linear + stage_registers
+
+
+def _sbox_rand_per_eval(arch: dict, order: int, serial: bool) -> float:
+    """Fresh random bits one S-box evaluation consumes per cycle.
+
+    Serial datapaths reuse one gadget pipeline for successive dependent
+    bytes, which requires refreshing the recombined tower-field inputs
+    between evaluations — an extra randomness term pipelined designs
+    avoid.  The compact Canright structure reuses intermediates the
+    most aggressively and pays the largest refresh.
+    """
+    if order == 0:
+        return 0.0
+    per_eval = arch["rand_base"] + (arch["serial_refresh"] if serial
+                                    else 0)
+    return per_eval * and_gadget_randomness_bits(order)
+
+
+def _active_sboxes(params: dict) -> int:
+    """S-box instances present in hardware (and, for the pipelined
+    designs, simultaneously active)."""
+    datapath = params["datapath"]
+    unroll = params["round_unroll"]
+    if datapath == 128:
+        per_round = 16 + (4 if params["key_schedule"] == "online" else 0)
+        count = per_round * unroll
+        if params["key_schedule"] == "precomputed":
+            count += 4                 # schedule precomputation unit
+        return count
+    if datapath == 32:
+        return 4 + (4 if params["sbox_instances"] == "parallel" else 1)
+    # 8-bit datapath: one data S-box, key S-box shared or separate.
+    return 1 if params["sbox_instances"] == "shared" else 2
+
+
+def _latency_cycles(params: dict, arch: dict, order: int) -> float:
+    datapath = params["datapath"]
+    unroll = params["round_unroll"]
+    pipeline = params["pipeline"]
+    stages = arch["stages"] if order > 0 else 0
+    if datapath == 128:
+        if order == 0:
+            # At the reference clock the LUT S-box fits one round per
+            # cycle; the deeper tower-field S-boxes need two.  Key
+            # expansion and I/O add 5.
+            round_cycles = 1 if params["sbox"] == "lut" else 2
+            cycles = ROUNDS * round_cycles + 5
+        elif unroll == ROUNDS:
+            # Fully unrolled masked pipeline: latency is the gadget
+            # stage count per round, plus output registration.
+            cycles = ROUNDS * stages + 1
+        else:
+            # Round-based masked: the same stages per round, plus the
+            # feedback path (load, mux, final) overhead of 5.
+            cycles = ROUNDS * stages + 5
+    elif datapath == 32:
+        if order == 0:
+            cycles = ROUNDS * 5 + 4
+        else:
+            # Four dependent word groups share one masked S-box
+            # pipeline per round; dependencies prevent overlapping.
+            cycles = ROUNDS * 4 * stages + 4
+    else:
+        shared_penalty = 16 if params["sbox_instances"] == "shared" else 12
+        round_cycles = (82 + shared_penalty
+                        + (16 * arch["serial_penalty"] if order else 0))
+        cycles = ROUNDS * round_cycles + 6
+    if params["key_schedule"] == "precomputed":
+        cycles += ROUNDS if datapath == 128 else 4 * ROUNDS
+    return cycles + pipeline
+
+
+def _area_kge(params: dict, arch: dict, order: int) -> float:
+    datapath = params["datapath"]
+    unroll = params["round_unroll"]
+    shares = order + 1
+    area = _active_sboxes(params) * _sbox_area_ge(arch, order)
+    # MixColumns: per 32-bit column instantiated.
+    columns = {128: 4, 32: 1, 8: 1}[datapath] * unroll
+    area += columns * _MIXCOLUMNS_GE[params["mixcolumns"]] * shares
+    # State + key registers (AES-256: 128-bit state, 256-bit key);
+    # unrolled designs keep a state/key register per round stage.
+    stage_copies = unroll if datapath == 128 else 1
+    area += (128 + 256) * _FF_GE * shares * stage_copies
+    if params["key_schedule"] == "precomputed":
+        area += 15 * 128 * _FF_GE * shares    # round-key store
+    # Narrow datapaths keep state and key in an addressable register
+    # file rather than plain flops (byte-wide for the 8-bit datapath,
+    # word-wide for the 32-bit one).
+    if datapath == 8:
+        area += _SERIAL_REGFILE_GE * shares
+    elif datapath == 32:
+        area += _WORD_REGFILE_GE * shares
+    # Datapath muxing and control; masked control is replicated per
+    # share domain.
+    control = {128: 3700.0, 32: 6500.0, 8: 6000.0}[datapath]
+    area += control * (1 + 0.6 * order)
+    area += 16.0 * datapath * shares
+    area += params["pipeline"] * datapath * _FF_GE * shares
+    return area / 1000.0
+
+
+def _randomness_per_cycle(params: dict, arch: dict, order: int) -> float:
+    if order == 0:
+        return 0.0
+    serial = params["datapath"] == 8
+    return (_active_sboxes(params)
+            * _sbox_rand_per_eval(arch, order, serial))
+
+
+def _aes_cost(params, subs, context) -> Metrics:
+    order = context.masking_order
+    arch = _SBOX[params["sbox"]]
+    if order > 0 and not arch["maskable"]:
+        raise InfeasibleConfiguration("table-lookup S-box cannot be masked")
+    if params["round_unroll"] == ROUNDS and params["datapath"] != 128:
+        raise InfeasibleConfiguration("unrolling needs the full datapath")
+    return Metrics(
+        area_kge=_area_kge(params, arch, order),
+        latency_cc=_latency_cycles(params, arch, order),
+        randomness_bits=_randomness_per_cycle(params, arch, order))
+
+
+def aes256() -> Template:
+    """The AES-256 template (Table I row "AES": 1440 configurations)."""
+    return Template(
+        "aes256", _aes_cost,
+        parameters={
+            "datapath": (8, 32, 128),
+            "sbox": tuple(sorted(_SBOX)),
+            "pipeline": (0, 1, 2, 3),
+            "key_schedule": ("online", "precomputed"),
+            "mixcolumns": tuple(sorted(_MIXCOLUMNS_GE)),
+            "round_unroll": (1, ROUNDS),
+            "sbox_instances": ("shared", "parallel"),
+        })

@@ -1,0 +1,61 @@
+"""ChaCha20 hardware template (Table I row "ChaCha20": 1080 configs).
+
+ChaCha20 is the mask-stream generator of choice for high-order masked
+implementations (cheap per-bit randomness), which is why it sits in the
+HADES library next to the PQC subroutines.
+
+Configuration space: 3 (quarter-round parallelism) x 4 (double-round
+unroll) x 3 (pipeline) x 30 (the nested mod-2^32 adder family)
+= 1080.  The ARX adder is a genuine nested slot — exactly the paper's
+"placeholders for nested components such as adders".
+"""
+
+from __future__ import annotations
+
+from ..masking import linear_area_factor, register_area_ge
+from ..metrics import Metrics
+from ..template import Template
+from .adders import arx_adder_family
+
+DOUBLE_ROUNDS = 10
+_QR_ADDS = 4            # additions per quarter-round
+_QR_LINEAR_GE = 700.0   # XOR + rotate network of one quarter-round
+_STATE_BITS = 512
+
+
+def _chacha_cost(params, subs, context):
+    order = context.masking_order
+    adder = subs["adder32"]
+    qr_parallel = params["qr_parallelism"]
+    unroll = params["double_round_unroll"]
+    pipeline = params["pipeline"]
+    # One physical quarter-round datapath = 4 adders + linear network.
+    qr_area = (_QR_ADDS * adder.area_kge * 1000.0
+               + _QR_LINEAR_GE * linear_area_factor(order))
+    datapath_copies = qr_parallel * unroll
+    area = (qr_area * datapath_copies
+            + register_area_ge(_STATE_BITS, order)
+            + 1100.0 + 240.0 * pipeline) / 1000.0
+    # 8 quarter-rounds per double round, qr_parallel at a time; the four
+    # serial adds of a QR dominate its latency.
+    qr_latency = _QR_ADDS * adder.latency_cc
+    qr_groups = -(-4 // qr_parallel) * 2      # column pass + diagonal pass
+    cycles_per_double_round = qr_groups * qr_latency
+    cycles = (DOUBLE_ROUNDS / unroll) * cycles_per_double_round
+    cycles = cycles * unroll if order == 0 and unroll > 1 else cycles
+    latency = cycles / (1 + 0.25 * pipeline) + pipeline + 2
+    randomness = (adder.randomness_bits * _QR_ADDS * datapath_copies)
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def chacha20() -> Template:
+    """The ChaCha20 template (Table I: 1080 configurations)."""
+    return Template(
+        "chacha20", _chacha_cost,
+        parameters={
+            "qr_parallelism": (1, 2, 4),
+            "double_round_unroll": (1, 2, 5, 10),
+            "pipeline": (0, 1, 2),
+        },
+        slots={"adder32": arx_adder_family()})

@@ -1,0 +1,91 @@
+"""Keccak-f[1600] hardware template (Table I row "Keccak": 14 configs).
+
+"In CONVOLVE, we also realize Keccak in hardware as it is an important
+subroutine of BIKE, CRYSTALS-Dilithium and can be used by the TEE for
+signing as well" (Section III-A).
+
+Two architecture families fill the 14-point space:
+
+* ``keccak_full_width`` — the whole 1600-bit state in flops, 1 to 24
+  rounds unrolled per cycle: unroll in {1, 2, 3, 4, 6, 8, 12, 24} (8);
+* ``keccak_slice_serial`` — a slice-serial datapath processing
+  ``slice_width`` of the 64 lanes' slices per cycle:
+  slice_width in {1, 2, 4, 8, 16, 32} (6).
+
+Only chi is non-linear (one AND+NOT per state bit), so a masked Keccak
+pays 1600 gadgets per round-equivalent of logic — the reason the paper
+keeps full PQC schemes off the SoC and accelerates only the permutation.
+"""
+
+from __future__ import annotations
+
+from ..masking import (and_gadget_area_ge, and_gadget_latency_stages,
+                       and_gadget_randomness_bits, linear_area_factor,
+                       register_area_ge)
+from ..metrics import Metrics
+from ..template import Template
+
+ROUNDS = 24
+STATE_BITS = 1600
+_CHI_ANDS_PER_ROUND = STATE_BITS      # one AND per state bit
+_LINEAR_GE_PER_ROUND = 4200.0         # theta/rho/pi/iota XOR network
+_XOR_GE = 2.2
+
+
+def _full_width_cost(params, subs, context):
+    order = context.masking_order
+    unroll = params["unroll"]
+    ands = _CHI_ANDS_PER_ROUND * unroll
+    area = (ands * and_gadget_area_ge(order)
+            + _LINEAR_GE_PER_ROUND * unroll * linear_area_factor(order)
+            + register_area_ge(STATE_BITS, order)
+            + 900.0) / 1000.0
+    stage = and_gadget_latency_stages(order)
+    if order == 0:
+        # Deep unrolled combinational chains stretch the reference
+        # clock; latency in reference cycles barely improves.
+        cycles = ROUNDS // unroll
+        path_factor = 1.0 + 0.35 * (unroll - 1)
+        latency = cycles * path_factor
+    else:
+        # Every chi layer inserts a gadget register stage: the masked
+        # latency floor is one stage per round regardless of unrolling;
+        # unrolling only removes the per-pass feedback cycles.
+        latency = ROUNDS * stage + ROUNDS // unroll
+    randomness = ands * and_gadget_randomness_bits(order)
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def _slice_serial_cost(params, subs, context):
+    order = context.masking_order
+    width = params["slice_width"]
+    slices_per_round = 64 // width
+    ands = _CHI_ANDS_PER_ROUND * width // 64
+    area = (ands * and_gadget_area_ge(order)
+            + (_LINEAR_GE_PER_ROUND * width / 64.0)
+            * linear_area_factor(order)
+            + register_area_ge(STATE_BITS, order)   # full state kept
+            + 1400.0) / 1000.0                      # slice addressing
+    stage = and_gadget_latency_stages(order)
+    cycles = ROUNDS * slices_per_round * (1 + stage) + 2
+    randomness = ands * and_gadget_randomness_bits(order)
+    return Metrics(area_kge=area, latency_cc=cycles,
+                   randomness_bits=randomness)
+
+
+def keccak_candidates() -> tuple:
+    """The two Keccak architectures (8 + 6 = 14 configurations)."""
+    return (
+        Template("keccak_full_width", _full_width_cost,
+                 parameters={"unroll": (1, 2, 3, 4, 6, 8, 12, 24)}),
+        Template("keccak_slice_serial", _slice_serial_cost,
+                 parameters={"slice_width": (1, 2, 4, 8, 16, 32)}),
+    )
+
+
+def keccak() -> Template:
+    """Wrapper template over both families (Table I: 14 configurations)."""
+    return Template(
+        "keccak", lambda params, subs, context: subs["core"],
+        slots={"core": keccak_candidates()})

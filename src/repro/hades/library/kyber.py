@@ -1,0 +1,117 @@
+"""CRYSTALS-Kyber templates — the HADES flagship case studies.
+
+"We obtain the first arbitrary-order masked implementation of
+CRYSTALs-Kyber" (Section III-A).  Two Table I rows:
+
+* ``kyber_cpa`` (40 362 configurations) — the CPA-secure encryption
+  core: a dense polynomial multiplier (1302) plus a compression
+  accumulator from the generic adder family (31): 1302 x 31 = 40 362.
+* ``kyber_cca`` (1 148 364 configurations) — the CCA-secure
+  (Fujisaki-Okamoto) wrapper: the polynomial multiplier (1302), a
+  Keccak core for G/H/KDF (14), and 63 local choices for the
+  re-encryption comparator, the binomial sampler and the control
+  micro-architecture: 1302 x 14 x 63 = 1 148 364 — the paper's 36-hour
+  exhaustive-search space.
+"""
+
+from __future__ import annotations
+
+from ..masking import (and_gadget_area_ge, and_gadget_randomness_bits,
+                       linear_area_factor, register_area_ge)
+from ..metrics import Metrics
+from ..template import Template
+from .adders import adder_family
+from .keccak import keccak_candidates
+from .polymul import polymul
+
+_K = 3                       # Kyber-768-style module dimension
+_POLY_BYTES = 384
+
+
+def _cpa_cost(params, subs, context):
+    order = context.masking_order
+    multiplier = subs["polymul"]
+    compressor = subs["compress_adder"]
+    area = (multiplier.area_kge + 2 * compressor.area_kge
+            + register_area_ge(8 * _POLY_BYTES, order) / 1000.0
+            + 2.4)
+    # k^2 polynomial products per encryption plus compression passes.
+    latency = (_K * _K * multiplier.latency_cc
+               + _K * 256 * compressor.latency_cc / 8.0 + 32)
+    randomness = (multiplier.randomness_bits
+                  + 2 * compressor.randomness_bits)
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def kyber_cpa() -> Template:
+    """Kyber CPA core (Table I: 40 362 = 1302 x 31 configurations)."""
+    return Template(
+        "kyber_cpa", _cpa_cost,
+        slots={"polymul": (polymul(),),
+               "compress_adder": adder_family()})
+
+
+_COMPARE_PROFILES = {
+    # re-encryption comparator: (area GE, latency cc, AND gates)
+    "serial": (600.0, 96.0, 8),
+    "word32": (1700.0, 24.0, 32),
+    "word64": (3100.0, 12.0, 64),
+    "tree": (5200.0, 4.0, 128),
+    "masked_and_tree": (6800.0, 6.0, 160),
+    "hash_based": (2400.0, 40.0, 0),
+    "hybrid": (3900.0, 16.0, 96),
+}
+
+_SAMPLER_PROFILES = {
+    # centred-binomial sampler: (area GE, latency cc, AND gates)
+    "lut": (2100.0, 8.0, 0),
+    "adder_tree": (1500.0, 12.0, 24),
+    "popcount": (1100.0, 16.0, 16),
+}
+
+_CONTROL_PROFILES = {
+    # scheme sequencing micro-architecture: (area GE, latency factor)
+    "microcode": (2600.0, 1.15),
+    "fsm": (1900.0, 1.0),
+    "hardwired": (3400.0, 0.92),
+}
+
+
+def _cca_cost(params, subs, context):
+    order = context.masking_order
+    multiplier = subs["polymul"]
+    keccak_core = subs["keccak"]
+    cmp_area, cmp_latency, cmp_ands = _COMPARE_PROFILES[params["compare"]]
+    smp_area, smp_latency, smp_ands = _SAMPLER_PROFILES[params["sampler"]]
+    ctl_area, ctl_factor = _CONTROL_PROFILES[params["control"]]
+    gadget_ands = cmp_ands + smp_ands
+    area = (multiplier.area_kge + keccak_core.area_kge
+            + (cmp_area + smp_area) * linear_area_factor(order) / 1000.0
+            + gadget_ands * and_gadget_area_ge(order) / 1000.0
+            + ctl_area / 1000.0
+            + register_area_ge(8 * _POLY_BYTES * 2, order) / 1000.0)
+    # Decapsulation: CPA decrypt + re-encrypt (k^2 products twice),
+    # 3 Keccak permutations, comparison and sampling per poly.
+    latency = ctl_factor * (
+        2 * _K * _K * multiplier.latency_cc
+        + 3 * keccak_core.latency_cc
+        + _K * (cmp_latency + smp_latency) + 64)
+    randomness = (multiplier.randomness_bits
+                  + keccak_core.randomness_bits
+                  + gadget_ands * and_gadget_randomness_bits(order))
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def kyber_cca() -> Template:
+    """Kyber CCA decapsulation (Table I: 1 148 364 configurations)."""
+    return Template(
+        "kyber_cca", _cca_cost,
+        parameters={
+            "compare": tuple(sorted(_COMPARE_PROFILES)),
+            "sampler": tuple(sorted(_SAMPLER_PROFILES)),
+            "control": tuple(sorted(_CONTROL_PROFILES)),
+        },
+        slots={"polymul": (polymul(),),
+               "keccak": keccak_candidates()})

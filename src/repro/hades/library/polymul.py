@@ -1,0 +1,86 @@
+"""Polynomial multiplier templates for lattice cryptography.
+
+Two Table I rows live here:
+
+* ``sparse_polymul`` (372 configurations) — multiplication by a sparse
+  (fixed-weight) polynomial, the core of BIKE's bit-flipping decoder:
+  4 (coefficient parallelism) x 3 (rotation unit) x 31 (nested
+  accumulator adder) = 372.
+* ``polymul`` (1302 configurations) — dense modular polynomial
+  multiplication as used by Kyber: a modular adder (42) feeding an
+  accumulator tree (31), 42 x 31 = 1302.
+
+Both templates nest the generic adder family — the paper's showcase of
+template reuse.
+"""
+
+from __future__ import annotations
+
+from ..masking import linear_area_factor, register_area_ge
+from ..metrics import Metrics
+from ..template import Template
+from .adders import adder_family, adder_mod_q
+
+_N = 256                 # polynomial length (Kyber-style)
+_COEFF_BITS = 12
+
+
+def _sparse_cost(params, subs, context):
+    order = context.masking_order
+    accumulator = subs["accumulator"]
+    parallelism = params["coeff_parallelism"]
+    rotation = params["rotation_unit"]
+    rotation_area = {"naive": 300.0, "log": 900.0, "barrel": 2600.0}
+    rotation_cycles = {"naive": 8.0, "log": 3.0, "barrel": 1.0}
+    area = (parallelism * accumulator.area_kge * 1000.0
+            + rotation_area[rotation] * linear_area_factor(order)
+            + register_area_ge(_N, order)
+            + 800.0) / 1000.0
+    # One rotate + accumulate per nonzero coefficient; weight ~ N/4.
+    weight = _N // 4
+    steps = -(-weight // parallelism)
+    latency = steps * (rotation_cycles[rotation]
+                       + accumulator.latency_cc) + 4
+    randomness = accumulator.randomness_bits * parallelism
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def sparse_polymul() -> Template:
+    """Sparse polynomial multiplier (Table I: 372 configurations)."""
+    return Template(
+        "sparse_polymul", _sparse_cost,
+        parameters={
+            "coeff_parallelism": (1, 2, 4, 8),
+            "rotation_unit": ("barrel", "log", "naive"),
+        },
+        slots={"accumulator": adder_family()})
+
+
+def _polymul_cost(params, subs, context):
+    order = context.masking_order
+    mod_adder = subs["mod_adder"]
+    accumulator = subs["accumulator"]
+    # Schoolbook MAC datapath: one modular butterfly per cycle pair,
+    # with the accumulator tree folding partial products.
+    mac_area = (mod_adder.area_kge + accumulator.area_kge) * 1000.0
+    multiplier_ge = _COEFF_BITS * _COEFF_BITS * 2.8 \
+        * linear_area_factor(order) ** 2
+    area = (mac_area + multiplier_ge + register_area_ge(
+        _N * _COEFF_BITS // 8, order) + 1200.0) / 1000.0
+    ntt_stages = 8                                 # log2(256)
+    butterflies = _N // 2 * ntt_stages
+    latency = (butterflies / 2.0) * (mod_adder.latency_cc * 0.5
+                                     + accumulator.latency_cc * 0.25) + 16
+    randomness = (mod_adder.randomness_bits
+                  + accumulator.randomness_bits) * 2
+    return Metrics(area_kge=area, latency_cc=latency,
+                   randomness_bits=randomness)
+
+
+def polymul() -> Template:
+    """Dense modular polynomial multiplier (Table I: 1302 = 42 x 31)."""
+    return Template(
+        "polymul", _polymul_cost,
+        slots={"mod_adder": (adder_mod_q(),),
+               "accumulator": adder_family()})

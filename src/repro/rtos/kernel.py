@@ -1,0 +1,335 @@
+"""The FreeRTOS-style kernel with PMP-backed task isolation (Fig. 3).
+
+Preemptive priority scheduling at tick granularity: on every tick the
+highest-priority ready task runs one step under its own PMP view
+(installed by :class:`~repro.rtos.mpu.TaskMemoryProtection`).  A task
+that touches foreign memory takes an access fault; the kernel kills it
+and the rest of the system keeps running — the "endure and recuperate"
+property the paper evaluates with diverse attack scenarios.
+
+Optional per-task execution budgets provide the time-protection analogue
+(a CPU-hogging task is suspended for the rest of its budget window), so
+scheduling-interference attacks are also containable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..soc.cpu import Hart
+from ..soc.memory import AccessFault, PhysicalMemory, Region
+from .ipc import MessageQueue, Mutex
+from .mpu import TaskMemoryProtection
+from .task import (Acquire, Delay, Notify, Receive, Release, Send,
+                   Task, TaskContext, TaskStackOverflow, TaskState,
+                   WaitNotification)
+
+KERNEL_REGION_SIZE = 256 * 1024
+MIN_ALLOC = 4096
+
+
+@dataclass
+class KernelEvent:
+    tick: int
+    kind: str
+    task: str
+    detail: str = ""
+
+
+@dataclass
+class KernelStats:
+    ticks: int = 0
+    context_switches: int = 0
+    faults: int = 0
+    run_ticks: dict = field(default_factory=dict)
+
+
+class Kernel:
+    """The RTOS kernel instance.
+
+    Parameters
+    ----------
+    protected:
+        True installs per-task PMP views (the hardened port); False
+        reproduces the flat-memory baseline.
+    budget_window:
+        Length in ticks of the budget-enforcement window for tasks
+        created with a ``budget_ticks`` limit.
+    """
+
+    def __init__(self, memory: PhysicalMemory = None, hart: Hart = None,
+                 protected: bool = True, budget_window: int = 100):
+        self.memory = memory or PhysicalMemory()
+        self.hart = hart or Hart(0, self.memory)
+        dram = self.memory.memory_map["dram"]
+        mmio = self.memory.memory_map["mmio"]
+        self.kernel_region = Region("kernel", dram.base,
+                                    KERNEL_REGION_SIZE)
+        self._alloc_cursor = dram.base + KERNEL_REGION_SIZE
+        self._dram_end = dram.end
+        self.protected = protected
+        self.mpu = TaskMemoryProtection(self.hart, mmio,
+                                        protected=protected)
+        self.budget_window = budget_window
+        self.tasks = []
+        self.tick = 0
+        self.events = []
+        self.stats = KernelStats()
+        self._queue_senders = {}
+        self._queue_receivers = {}
+        self._mutex_waiters = {}
+        self._running = None
+
+    # -- memory allocation ---------------------------------------------
+
+    def _allocate(self, name: str, size: int) -> Region:
+        """Carve a NAPOT-aligned region out of DRAM."""
+        rounded = MIN_ALLOC
+        while rounded < size:
+            rounded <<= 1
+        base = (self._alloc_cursor + rounded - 1) // rounded * rounded
+        if base + rounded > self._dram_end:
+            raise RuntimeError("out of task DRAM")
+        self._alloc_cursor = base + rounded
+        return Region(name, base, rounded)
+
+    # -- task management --------------------------------------------------
+
+    def create_task(self, name: str, priority: int, entry,
+                    stack_bytes: int = MIN_ALLOC,
+                    data_bytes: int = 0, grant_mmio: bool = False,
+                    budget_ticks: int = None,
+                    deadline_ticks: int = None) -> Task:
+        stack = self._allocate(f"{name}.stack", stack_bytes)
+        data_regions = ()
+        if data_bytes:
+            data_regions = (self._allocate(f"{name}.data", data_bytes),)
+        task = Task(name, priority, entry, stack,
+                    data_regions=data_regions, budget_ticks=budget_ticks,
+                    deadline_ticks=deadline_ticks)
+        task.mmio_granted = grant_mmio
+        task.release_tick = self.tick
+        self.tasks.append(task)
+        self.stats.run_ticks[name] = 0
+        return task
+
+    def queue(self, capacity: int = 8) -> MessageQueue:
+        q = MessageQueue(capacity)
+        self._queue_senders[id(q)] = []
+        self._queue_receivers[id(q)] = []
+        return q
+
+    def mutex(self, name: str = "mutex") -> Mutex:
+        m = Mutex(name)
+        self._mutex_waiters[id(m)] = []
+        return m
+
+    # -- scheduling --------------------------------------------------------
+
+    def _wake_delayed(self) -> None:
+        for task in self.tasks:
+            if task.state is TaskState.DELAYED and \
+                    self.tick >= task.wake_tick:
+                task.state = TaskState.READY
+            if task.state is TaskState.SUSPENDED and \
+                    self.tick % self.budget_window == 0:
+                task.budget_used = 0
+                task.state = TaskState.READY
+                self._log("budget-replenished", task)
+
+    def _pick(self):
+        ready = [t for t in self.tasks if t.state in (TaskState.READY,
+                                                      TaskState.RUNNING)]
+        if not ready:
+            return None
+        best = max(ready, key=lambda t: t.priority)
+        peers = [t for t in ready if t.priority == best.priority]
+        if self._running in peers and len(peers) > 1:
+            # Round-robin among equal priorities.
+            index = peers.index(self._running)
+            return peers[(index + 1) % len(peers)]
+        return best
+
+    def _log(self, kind: str, task, detail: str = "") -> None:
+        self.events.append(KernelEvent(self.tick, kind,
+                                       task.name if task else "-",
+                                       detail))
+
+    # -- syscall handling --------------------------------------------------
+
+    def _handle_send(self, task: Task, call: Send) -> None:
+        queue = call.queue
+        if queue.full:
+            task.state = TaskState.BLOCKED
+            self._queue_senders[id(queue)].append((task, call.item))
+            self._log("blocked-send", task)
+        else:
+            queue.push(call.item)
+            self._wake_receiver(queue)
+
+    def _handle_receive(self, task: Task, call: Receive) -> None:
+        queue = call.queue
+        if queue.empty:
+            task.state = TaskState.BLOCKED
+            self._queue_receivers[id(queue)].append(task)
+            self._log("blocked-receive", task)
+        else:
+            task.deliver(queue.pop())
+            self._wake_sender(queue)
+
+    def _wake_receiver(self, queue) -> None:
+        receivers = self._queue_receivers[id(queue)]
+        if receivers and not queue.empty:
+            receivers.sort(key=lambda t: -t.priority)
+            task = receivers.pop(0)
+            task.deliver(queue.pop())
+            task.state = TaskState.READY
+            self._wake_sender(queue)
+
+    def _wake_sender(self, queue) -> None:
+        senders = self._queue_senders[id(queue)]
+        if senders and not queue.full:
+            senders.sort(key=lambda pair: -pair[0].priority)
+            task, item = senders.pop(0)
+            queue.push(item)
+            task.state = TaskState.READY
+            self._wake_receiver(queue)
+
+    def _handle_notify(self, task: Task, call: Notify) -> None:
+        target = call.task
+        if getattr(target, "_waiting_notification", False):
+            target.deliver(call.value)
+            target._waiting_notification = False
+            target.state = TaskState.READY
+        else:
+            target.notification = call.value     # latch
+
+    def _handle_wait_notification(self, task: Task) -> None:
+        if task.notification is not None:
+            task.deliver(task.notification)
+            task.notification = None
+        else:
+            task.state = TaskState.BLOCKED
+            task._waiting_notification = True
+            self._log("blocked-notification", task)
+
+    def _check_deadlines(self) -> None:
+        """Deadline watchdog: flag tasks that outlive their deadline."""
+        for task in self.tasks:
+            if task.deadline_ticks is None or task.deadline_missed:
+                continue
+            if task.state is TaskState.DONE:
+                continue
+            if self.tick - task.release_tick > task.deadline_ticks:
+                task.deadline_missed = True
+                self._log("deadline-missed", task)
+
+    def _handle_acquire(self, task: Task, call: Acquire) -> None:
+        mutex = call.mutex
+        if mutex.acquire(task):
+            task.deliver(True)
+        else:
+            mutex.boost_holder(task.priority)
+            task.state = TaskState.BLOCKED
+            self._mutex_waiters[id(mutex)].append(task)
+            self._log("blocked-mutex", task, mutex.name)
+
+    def _handle_release(self, task: Task, call: Release) -> None:
+        mutex = call.mutex
+        mutex.release(task)
+        waiters = self._mutex_waiters[id(mutex)]
+        if waiters:
+            waiters.sort(key=lambda t: -t.priority)
+            waiter = waiters.pop(0)
+            mutex.acquire(waiter)
+            waiter.deliver(True)
+            waiter.state = TaskState.READY
+
+    # -- the tick loop -------------------------------------------------
+
+    def run(self, max_ticks: int = 1000) -> KernelStats:
+        """Run the scheduler for ``max_ticks`` or until all tasks end."""
+        end_tick = self.tick + max_ticks
+        while self.tick < end_tick:
+            self._wake_delayed()
+            self._check_deadlines()
+            task = self._pick()
+            if task is None:
+                live = any(t.state in (TaskState.BLOCKED,
+                                       TaskState.DELAYED,
+                                       TaskState.SUSPENDED)
+                           for t in self.tasks)
+                if not live:
+                    break
+                self.tick += 1
+                self.stats.ticks += 1
+                continue
+            if task is not self._running:
+                self.stats.context_switches += 1
+                self.mpu.install(task)
+                self._running = task
+            task.state = TaskState.RUNNING
+            if task._generator is None:
+                task.start(TaskContext(task, self.hart))
+            self.mpu.enter_task_mode()
+            try:
+                call = task.step()
+            except StopIteration:
+                task.state = TaskState.DONE
+                self._log("done", task)
+                self._running = None
+                call = None
+            except AccessFault as fault:
+                task.state = TaskState.FAULTED
+                task.fault = fault
+                self.stats.faults += 1
+                self._log("access-fault", task, str(fault))
+                self._running = None
+                call = None
+            except TaskStackOverflow as fault:
+                task.state = TaskState.FAULTED
+                task.fault = fault
+                self.stats.faults += 1
+                self._log("stack-overflow", task, str(fault))
+                self._running = None
+                call = None
+            finally:
+                self.mpu.enter_kernel_mode()
+            if task.state is TaskState.RUNNING:
+                task.state = TaskState.READY
+                if isinstance(call, Delay):
+                    task.state = TaskState.DELAYED
+                    task.wake_tick = self.tick + call.ticks
+                elif isinstance(call, Send):
+                    self._handle_send(task, call)
+                elif isinstance(call, Receive):
+                    self._handle_receive(task, call)
+                elif isinstance(call, Acquire):
+                    self._handle_acquire(task, call)
+                elif isinstance(call, Release):
+                    self._handle_release(task, call)
+                elif isinstance(call, Notify):
+                    self._handle_notify(task, call)
+                elif isinstance(call, WaitNotification):
+                    self._handle_wait_notification(task)
+            task.ticks_run += 1
+            self.stats.run_ticks[task.name] += 1
+            if task.budget_ticks is not None:
+                task.budget_used += 1
+                if task.budget_used >= task.budget_ticks and \
+                        task.state in (TaskState.READY,
+                                       TaskState.RUNNING):
+                    task.state = TaskState.SUSPENDED
+                    self._log("budget-exhausted", task)
+            self.tick += 1
+            self.stats.ticks += 1
+        return self.stats
+
+    # -- health -----------------------------------------------------------
+
+    def alive_tasks(self) -> list:
+        return [t for t in self.tasks
+                if t.state not in (TaskState.DONE, TaskState.FAULTED)]
+
+    def faulted_tasks(self) -> list:
+        return [t for t in self.tasks if t.state is TaskState.FAULTED]

@@ -1,0 +1,32 @@
+"""Simulated RISC-V SoC substrate.
+
+The paper's evaluation platform is a Chipyard-built Rocket SoC on a
+VCU118 FPGA (four cores, PMP enabled, 2 GB DRAM).  This package models
+the architectural pieces the security stack actually exercises:
+
+* :mod:`~repro.soc.memory` — physical memory + memory map
+* :mod:`~repro.soc.pmp` — RISC-V PMP registers and the check algorithm
+* :mod:`~repro.soc.cpu` — harts with privilege modes and stack accounting
+* :mod:`~repro.soc.bus` — a shared bus with FCFS / round-robin / TDM
+  arbitration (the composability substrate)
+"""
+
+from .memory import (AccessFault, MemoryMap, PhysicalMemory, Region,
+                     default_memory_map, BOOTROM_BASE, BOOTROM_SIZE,
+                     DRAM_BASE, DRAM_SIZE, MMIO_BASE, MMIO_SIZE)
+from .pmp import (AddressMode, Pmp, PmpEntry, PrivilegeMode,
+                  napot_address, PMP_ENTRY_COUNT)
+from .cpu import Hart, StackModel, StackOverflowFault
+from .bus import (Arbiter, BusStatistics, FcfsArbiter, RoundRobinArbiter,
+                  SharedBus, TdmArbiter, Transaction)
+
+__all__ = [
+    "AccessFault", "MemoryMap", "PhysicalMemory", "Region",
+    "default_memory_map", "BOOTROM_BASE", "BOOTROM_SIZE", "DRAM_BASE",
+    "DRAM_SIZE", "MMIO_BASE", "MMIO_SIZE",
+    "AddressMode", "Pmp", "PmpEntry", "PrivilegeMode", "napot_address",
+    "PMP_ENTRY_COUNT",
+    "Hart", "StackModel", "StackOverflowFault",
+    "Arbiter", "BusStatistics", "FcfsArbiter", "RoundRobinArbiter",
+    "SharedBus", "TdmArbiter", "Transaction",
+]

@@ -1,0 +1,170 @@
+"""Cycle-level shared-resource bus with pluggable arbitration.
+
+The composability substrate (paper Section III-E) needs a shared
+resource whose arbitration policy determines whether co-running
+applications can interfere with each other's timing.  This bus serves
+one request per grant; requestors enqueue transactions and the arbiter
+decides, cycle by cycle, who is served.
+
+Three arbiters are provided:
+
+* :class:`FcfsArbiter` — a plain FIFO, maximally interference-prone;
+* :class:`RoundRobinArbiter` — work-conserving fair sharing, still
+  timing-coupled to co-runners;
+* :class:`TdmArbiter` — CompSOC-style time-division multiplexing, the
+  composable policy (a requestor's service cycles depend only on its own
+  slot table, never on other requestors' load).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Transaction:
+    """One bus request from ``requestor``; ``latency`` service cycles."""
+
+    requestor: str
+    issued_cycle: int
+    latency: int = 1
+    completed_cycle: int = None
+    tag: object = None
+
+
+class Arbiter:
+    """Arbitration policy interface: pick which requestor is served."""
+
+    def grant(self, cycle: int, pending: dict):
+        """Return the requestor granted at ``cycle`` or None.
+
+        ``pending`` maps requestor name -> non-empty deque of
+        transactions.
+        """
+        raise NotImplementedError
+
+
+class FcfsArbiter(Arbiter):
+    """First-come-first-served across all requestors."""
+
+    def grant(self, cycle: int, pending: dict):
+        oldest = None
+        for name, queue in pending.items():
+            head = queue[0]
+            key = (head.issued_cycle, name)
+            if oldest is None or key < oldest[0]:
+                oldest = (key, name)
+        return oldest[1] if oldest else None
+
+
+class RoundRobinArbiter(Arbiter):
+    """Work-conserving round-robin over the declared requestor order."""
+
+    def __init__(self, requestors: list):
+        self.requestors = list(requestors)
+        self._next = 0
+
+    def grant(self, cycle: int, pending: dict):
+        if not pending:
+            return None
+        for offset in range(len(self.requestors)):
+            candidate = self.requestors[
+                (self._next + offset) % len(self.requestors)]
+            if candidate in pending:
+                self._next = (self.requestors.index(candidate) + 1) \
+                    % len(self.requestors)
+                return candidate
+        return None
+
+
+class TdmArbiter(Arbiter):
+    """Time-division multiplexing over a fixed slot table.
+
+    Slot ``cycle mod len(table)`` belongs exclusively to
+    ``table[slot]``; an idle slot is never donated, which is precisely
+    what buys composability at the price of utilisation.
+    """
+
+    def __init__(self, slot_table: list):
+        if not slot_table:
+            raise ValueError("TDM slot table must be non-empty")
+        self.slot_table = list(slot_table)
+
+    def grant(self, cycle: int, pending: dict):
+        owner = self.slot_table[cycle % len(self.slot_table)]
+        if owner not in pending:
+            return None
+        # A transaction may only start if it finishes within the owner's
+        # consecutive slot run; otherwise it would steal cycles from the
+        # next slot's owner and destroy composability.
+        latency = pending[owner][0].latency
+        table_len = len(self.slot_table)
+        fits = all(self.slot_table[(cycle + i) % table_len] == owner
+                   for i in range(latency))
+        return owner if fits else None
+
+
+@dataclass
+class BusStatistics:
+    """Per-requestor service accounting."""
+
+    served: int = 0
+    total_wait_cycles: int = 0
+    completion_times: list = field(default_factory=list)
+
+
+class SharedBus:
+    """A single shared resource serving one transaction at a time."""
+
+    def __init__(self, arbiter: Arbiter):
+        self.arbiter = arbiter
+        self.cycle = 0
+        self._queues = {}
+        self._busy_until = 0
+        self._active = None
+        self.stats = {}
+
+    def submit(self, transaction: Transaction) -> None:
+        queue = self._queues.setdefault(transaction.requestor, deque())
+        queue.append(transaction)
+        self.stats.setdefault(transaction.requestor, BusStatistics())
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def step(self) -> list:
+        """Advance one cycle; returns transactions completed this cycle."""
+        completed = []
+        if self._active is not None and self.cycle >= self._busy_until:
+            transaction = self._active
+            transaction.completed_cycle = self.cycle
+            stats = self.stats[transaction.requestor]
+            stats.served += 1
+            stats.total_wait_cycles += (self.cycle
+                                        - transaction.issued_cycle)
+            stats.completion_times.append(self.cycle)
+            completed.append(transaction)
+            self._active = None
+        if self._active is None:
+            pending = {name: queue for name, queue in self._queues.items()
+                       if queue}
+            granted = self.arbiter.grant(self.cycle, pending)
+            if granted is not None:
+                transaction = self._queues[granted].popleft()
+                self._active = transaction
+                self._busy_until = self.cycle + transaction.latency
+        self.cycle += 1
+        return completed
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> list:
+        """Step until all queues are empty; returns all completions."""
+        completed = []
+        idle_cycles = 0
+        while (self.pending_count() or self._active is not None):
+            if self.cycle >= max_cycles:
+                raise RuntimeError("bus did not drain within cycle budget")
+            done = self.step()
+            completed.extend(done)
+            idle_cycles = 0 if done else idle_cycles + 1
+        return completed

@@ -1,0 +1,91 @@
+"""Rollback-protected sealing with monotonic counters.
+
+Sealing alone does not stop an attacker with storage access from
+re-installing an *old* sealed blob (e.g. model weights with a known
+vulnerability, or a downgraded firmware image) — a practical concern
+for CONVOLVE's in-field update story (Section III-E mentions "software
+updates at the application or system level").  The standard fix is a
+hardware monotonic counter in the root of trust:
+
+* every sealed blob carries a version bound into the AEAD associated
+  data,
+* the device's non-volatile counter records the minimum acceptable
+  version,
+* unsealing anything older than the counter fails, and committing an
+  update advances the counter irreversibly.
+"""
+
+from __future__ import annotations
+
+from .sealing import seal, unseal
+
+
+class MonotonicCounter:
+    """A non-volatile hardware counter: read and increase-only."""
+
+    def __init__(self, initial: int = 0):
+        if initial < 0:
+            raise ValueError("counter cannot start negative")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def advance_to(self, value: int) -> None:
+        """Raise the counter; lowering it is physically impossible."""
+        if value < self._value:
+            raise ValueError(
+                f"monotonic counter cannot move backwards "
+                f"({self._value} -> {value})")
+        self._value = value
+
+
+class RollbackError(Exception):
+    """A sealed blob older than the device's counter was presented."""
+
+
+class VersionedSealer:
+    """Sealing with version binding + monotonic-counter enforcement."""
+
+    def __init__(self, sealing_key: bytes, counter: MonotonicCounter):
+        self.sealing_key = sealing_key
+        self.counter = counter
+
+    @staticmethod
+    def _associated_data(version: int, label: bytes) -> bytes:
+        return b"versioned-seal-v1:" + version.to_bytes(8, "big") + label
+
+    def seal(self, version: int, payload: bytes,
+             label: bytes = b"") -> bytes:
+        """Seal ``payload`` as ``version``; layout ``version || blob``."""
+        if version < 0:
+            raise ValueError("version must be non-negative")
+        nonce = version.to_bytes(12, "big")
+        blob = seal(self.sealing_key, nonce, payload,
+                    self._associated_data(version, label))
+        return version.to_bytes(8, "big") + blob
+
+    def unseal(self, sealed: bytes, label: bytes = b"") -> bytes:
+        """Open a versioned blob, enforcing the monotonic counter.
+
+        Raises :class:`RollbackError` for stale versions and
+        ``ValueError`` for tampered blobs (including a forged version
+        prefix, which breaks the AEAD binding).
+        """
+        if len(sealed) < 8:
+            raise ValueError("versioned blob too short")
+        version = int.from_bytes(sealed[:8], "big")
+        if version < self.counter.value:
+            raise RollbackError(
+                f"blob version {version} older than counter "
+                f"{self.counter.value}")
+        payload = unseal(self.sealing_key, version.to_bytes(12, "big"),
+                         sealed[8:],
+                         self._associated_data(version, label))
+        return payload
+
+    def commit(self, version: int) -> None:
+        """After installing ``version``, burn it into the counter so
+        every older blob becomes permanently unusable."""
+        self.counter.advance_to(version)

@@ -1,0 +1,209 @@
+"""Tests for the two-phase weight-extraction attack, countermeasures
+and leakage assessment (paper Section III-C, Figs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.cim import (DigitalCimMacro, MaskedCimMacro, PowerModel,
+                       ShuffledCimMacro, WeightExtractionAttack,
+                       assess_macro, hamming_weight,
+                       phase2_power_patterns, values_with_hamming_weight,
+                       welch_t)
+
+
+def _random_weights(count, seed, include_anchors=True):
+    rng = np.random.default_rng(seed)
+    weights = [int(w) for w in rng.integers(0, 16, count)]
+    if include_anchors:
+        weights[0] = 0
+        weights[1] = 15
+    return weights
+
+
+class TestHwClasses:
+    def test_class_sizes(self):
+        sizes = [len(values_with_hamming_weight(h)) for h in range(5)]
+        assert sizes == [1, 4, 6, 4, 1]
+
+    def test_hw3_values(self):
+        """The exact values of paper Fig. 2."""
+        assert values_with_hamming_weight(3) == [7, 11, 13, 14]
+
+
+class TestPhase1:
+    """Fig. 1: k-means separates the five HW clusters."""
+
+    def test_noise_free_clustering_perfect(self):
+        weights = list(range(16))   # every value once
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.phase1_cluster()
+        assert result.accuracy(weights) == 1.0
+
+    def test_powers_ordered_by_hamming_weight(self):
+        weights = [0, 1, 3, 7, 15]
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.phase1_cluster()
+        assert result.mean_powers == sorted(result.mean_powers)
+
+    def test_noisy_clustering_with_averaging(self):
+        weights = _random_weights(16, seed=3)
+        attack = WeightExtractionAttack(
+            DigitalCimMacro(weights), PowerModel(0.5, seed=4),
+            repetitions=30)
+        result = attack.phase1_cluster()
+        assert result.accuracy(weights) >= 0.9
+
+    def test_missing_classes_handled(self):
+        weights = [0, 15, 15, 0, 15, 0, 0, 15]   # only HW 0 and 4
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.phase1_cluster()
+        assert result.accuracy(weights) == 1.0
+
+    def test_trace_budget_reported(self):
+        weights = _random_weights(8, seed=1)
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=5)
+        result = attack.phase1_cluster()
+        assert result.traces_used == 8 * 5
+
+
+class TestPhase2:
+    """Fig. 2: combination with known weights separates HW classes."""
+
+    def test_hw3_separable_with_companion_one(self):
+        """Paper Fig. 2 exactly: 7/11/13/14 with known weight 1 give
+        distinct power, while alone they are identical."""
+        patterns = phase2_power_patterns([7, 11, 13, 14],
+                                         companion_value=1)
+        alone = [p[0] for p in patterns.values()]
+        combined = [p[1] for p in patterns.values()]
+        assert len(set(alone)) == 1           # indistinguishable alone
+        assert len(set(combined)) == 4        # distinct with companion
+
+    def test_hw1_separable_with_companion_fifteen(self):
+        patterns = phase2_power_patterns([1, 2, 4, 8],
+                                         companion_value=15)
+        combined = [p[1] for p in patterns.values()]
+        assert len(set(combined)) == 4
+
+    def test_combined_power_follows_sum_hamming_weight(self):
+        patterns = phase2_power_patterns([7, 11, 13, 14],
+                                         companion_value=1)
+        # Power with companion must be monotone in HW(v + 1).
+        hw_sums = {v: hamming_weight(v + 1) for v in (7, 11, 13, 14)}
+        ordered = sorted(patterns, key=lambda v: patterns[v][1])
+        assert ordered == sorted(hw_sums, key=lambda v: hw_sums[v])
+
+
+class TestFullAttack:
+    def test_noise_free_full_recovery_16(self):
+        weights = _random_weights(16, seed=5)
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.run()
+        assert result.accuracy(weights) == 1.0
+        assert result.unresolved == []
+
+    def test_noise_free_full_recovery_64(self):
+        weights = _random_weights(64, seed=6)
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.run()
+        assert result.accuracy(weights) == 1.0
+
+    def test_query_complexity_linear_ish(self):
+        weights = _random_weights(64, seed=6)
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.run()
+        # Phase 1: 64 queries; phase 2: a few per unknown weight.
+        assert result.queries_used < 64 * 6
+
+    def test_recovery_under_noise(self):
+        weights = _random_weights(16, seed=7)
+        attack = WeightExtractionAttack(
+            DigitalCimMacro(weights), PowerModel(0.3, seed=8),
+            repetitions=40)
+        result = attack.run(tolerance=0.3)
+        assert result.accuracy(weights) >= 0.85
+
+    def test_attack_without_anchor_weights_partial(self):
+        """Without any HW-0/HW-4 weight nothing pins a value, so the
+        attack can only report HW classes (values stay unresolved)."""
+        weights = [1, 2, 6, 9, 11, 13, 3, 5]   # HW 1..3 only
+        attack = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        result = attack.run()
+        assert result.phase1.accuracy(weights) == 1.0
+        assert len(result.unresolved) == len(weights)
+
+
+class TestCountermeasures:
+    WEIGHTS = _random_weights.__func__(16, seed=9) \
+        if hasattr(_random_weights, "__func__") else None
+
+    @pytest.fixture(scope="class")
+    def weights(self):
+        return _random_weights(16, seed=9)
+
+    def test_masked_macro_still_computes_correctly(self, weights):
+        macro = MaskedCimMacro(weights, seed=0)
+        value, _ = macro.operate([1] * 16)
+        assert value == sum(weights)
+
+    def test_shuffled_macro_preserves_full_sums(self, weights):
+        macro = ShuffledCimMacro(weights, seed=0)
+        value, _ = macro.operate([1] * 16)
+        assert value == sum(weights)
+
+    def test_masking_defeats_extraction(self, weights):
+        attack = WeightExtractionAttack(MaskedCimMacro(weights, seed=1),
+                                        PowerModel(0.0), repetitions=3)
+        result = attack.run()
+        assert result.accuracy(weights) < 0.5
+
+    def test_shuffling_defeats_extraction(self, weights):
+        attack = WeightExtractionAttack(
+            ShuffledCimMacro(weights, seed=2), PowerModel(0.0),
+            repetitions=3)
+        result = attack.run()
+        assert result.accuracy(weights) < 0.5
+
+    def test_masked_power_independent_of_single_weight(self, weights):
+        """Mean activity of a one-hot query must not follow the HW."""
+        macro = MaskedCimMacro([0] * 4 + [15] * 4, seed=3)
+        from repro.cim import one_hot
+        means = []
+        for index in (0, 4):
+            samples = [macro.query_fresh(one_hot(8, index))
+                       for _ in range(300)]
+            means.append(np.mean(samples))
+        assert abs(means[0] - means[1]) < 1.5
+
+
+class TestTvla:
+    def test_welch_t_zero_for_identical(self):
+        assert welch_t([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_welch_t_large_for_separated(self):
+        a = np.random.default_rng(0).normal(0, 1, 100)
+        b = np.random.default_rng(1).normal(10, 1, 100)
+        assert abs(welch_t(a, b)) > 20
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            welch_t([1.0], [1.0, 2.0])
+
+    def test_plain_macro_leaks(self):
+        weights = [15] * 8 + [0] * 8
+        result = assess_macro(lambda w: DigitalCimMacro(w), weights)
+        assert result.leaks
+
+    def test_masked_macro_passes(self):
+        weights = [15] * 8 + [0] * 8
+        result = assess_macro(lambda w: MaskedCimMacro(w, seed=5),
+                              weights)
+        assert not result.leaks

@@ -1,0 +1,124 @@
+"""Tests for the CIM extensions: known-input LRA and full-layer
+extraction."""
+
+import numpy as np
+import pytest
+
+from repro.cim import (CimLayer, CpaAttack, DigitalCimMacro,
+                       LayerExtractionAttack, MaskedCimMacro,
+                       PowerModel, hamming_weight)
+
+
+def _weights(count, seed, anchors=True):
+    rng = np.random.default_rng(seed)
+    weights = [int(w) for w in rng.integers(0, 16, count)]
+    if anchors:
+        weights[0], weights[1] = 0, 15
+    return weights
+
+
+class TestCpa:
+    def test_passive_hw_recovery(self):
+        weights = _weights(16, seed=5, anchors=False)
+        attack = CpaAttack(DigitalCimMacro(weights), PowerModel(0.0),
+                           seed=1)
+        result = attack.run(traces=2000)
+        assert result.hw_accuracy(weights) >= 0.75
+
+    def test_profiled_levels_monotone(self):
+        weights = _weights(16, seed=5, anchors=False)
+        attack = CpaAttack(DigitalCimMacro(weights), PowerModel(0.0),
+                           seed=1)
+        result = attack.run(traces=800)
+        levels = [result.class_levels[hw] for hw in sorted(
+            result.class_levels)]
+        assert levels == sorted(levels)
+        assert len(levels) == 5
+
+    def test_weaker_than_chosen_input(self):
+        """The quantitative point: passive LRA < chosen-input attack."""
+        from repro.cim import WeightExtractionAttack
+        weights = _weights(16, seed=9)
+        chosen = WeightExtractionAttack(DigitalCimMacro(weights),
+                                        PowerModel(0.0), repetitions=1)
+        chosen_result = chosen.run()
+        passive = CpaAttack(DigitalCimMacro(weights), PowerModel(0.0),
+                            seed=2)
+        passive_result = passive.run(traces=2000)
+        assert chosen_result.phase1.accuracy(weights) == 1.0
+        assert passive_result.hw_accuracy(weights) <= 1.0
+        # Passive yields only HW classes, never exact values.
+        assert chosen_result.accuracy(weights) == 1.0
+
+    def test_masking_defeats_passive_attack_too(self):
+        weights = _weights(16, seed=11, anchors=False)
+        attack = CpaAttack(MaskedCimMacro(weights, seed=1),
+                           PowerModel(0.0), seed=3)
+        result = attack.run(traces=1500)
+        # 5 classes -> chance is ~the largest class prior; anything
+        # close to chance means the HW signal is gone.
+        assert result.hw_accuracy(weights) < 0.55
+
+    def test_noise_tolerance(self):
+        weights = _weights(16, seed=13, anchors=False)
+        attack = CpaAttack(DigitalCimMacro(weights),
+                           PowerModel(1.0, seed=4), seed=5)
+        result = attack.run(traces=4000)
+        assert result.hw_accuracy(weights) >= 0.6
+
+
+class TestCimLayer:
+    def test_shape_and_inference(self):
+        layer = CimLayer([[1, 2], [3, 4], [5, 6]])
+        assert layer.shape == (3, 2)
+        assert layer.infer([1, 1]) == [3, 7, 11]
+        assert layer.infer([1, 0]) == [1, 3, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CimLayer([])
+        with pytest.raises(ValueError):
+            CimLayer([[1, 2], [3]])
+        with pytest.raises(ValueError):
+            CimLayer([[16]])
+
+
+class TestLayerExtraction:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        rng = np.random.default_rng(17)
+        matrix = [[int(w) for w in rng.integers(0, 16, 16)]
+                  for _ in range(4)]
+        for row in matrix:
+            row[0], row[1] = 0, 15
+        return matrix
+
+    def test_full_matrix_recovery(self, matrix):
+        layer = CimLayer(matrix)
+        attack = LayerExtractionAttack(layer, PowerModel(0.0))
+        result = attack.run()
+        assert result.accuracy(matrix) == 1.0
+        assert result.unresolved_rows == []
+
+    def test_functional_equivalence(self, matrix):
+        layer = CimLayer(matrix)
+        result = LayerExtractionAttack(layer, PowerModel(0.0)).run()
+        assert result.functionally_equivalent(layer)
+
+    def test_query_accounting(self, matrix):
+        layer = CimLayer(matrix)
+        result = LayerExtractionAttack(layer, PowerModel(0.0)).run()
+        assert len(result.per_row_queries) == 4
+        assert result.total_queries == sum(result.per_row_queries)
+        # Roughly linear in matrix size.
+        assert result.total_queries < 4 * 16 * 6
+
+    def test_unresolved_rows_reported(self):
+        # A row with no anchor weights cannot be fully resolved.
+        matrix = [[1, 2, 6, 9, 11, 13, 3, 5] * 2,
+                  [0, 15] + [7] * 14]
+        layer = CimLayer(matrix)
+        result = LayerExtractionAttack(layer, PowerModel(0.0)).run()
+        assert 0 in result.unresolved_rows
+        assert 1 not in result.unresolved_rows
+        assert not result.functionally_equivalent(layer)

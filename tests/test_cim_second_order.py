@@ -1,0 +1,101 @@
+"""Tests for the second-order (variance) attack and higher-order
+masking — the masking-theory story on the CIM substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cim import (MaskedCimMacro, PowerModel, SecondOrderAttack,
+                       WeightExtractionAttack, assess_macro, one_hot)
+
+
+class TestHigherOrderMasking:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            MaskedCimMacro([1, 2], order=0)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_functional_correctness_any_order(self, order):
+        weights = [3, 14, 7, 9]
+        macro = MaskedCimMacro(weights, seed=1, order=order)
+        value, _ = macro.operate([1, 1, 1, 1])
+        assert value == sum(weights)
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_first_order_attack_fails_any_order(self, order):
+        weights = [0, 15, 7, 11, 13, 14, 3, 8]
+        attack = WeightExtractionAttack(
+            MaskedCimMacro(weights, seed=2, order=order),
+            PowerModel(0.0), repetitions=3)
+        assert attack.run().accuracy(weights) < 0.5
+
+    def test_mean_is_flat_variance_is_not_at_order_1(self):
+        """The defining second-order property."""
+        means = {}
+        variances = {}
+        for value in (0, 7, 15):
+            macro = MaskedCimMacro([value] + [0] * 7, seed=3, order=1)
+            samples = [macro.query_fresh(one_hot(8, 0))
+                       for _ in range(2500)]
+            means[value] = np.mean(samples)
+            variances[value] = np.var(samples)
+        spread = max(means.values()) - min(means.values())
+        assert spread < 1.0                       # flat means
+        assert variances[15] == 0.0               # w=15: deterministic
+        assert variances[0] > variances[7] > 5.0  # strong value signal
+
+    def test_variance_flattens_at_order_2(self):
+        variances = {}
+        for value in (0, 7, 15):
+            macro = MaskedCimMacro([value] + [0] * 7, seed=4, order=2)
+            samples = [macro.query_fresh(one_hot(8, 0))
+                       for _ in range(2500)]
+            variances[value] = np.var(samples)
+        spread = max(variances.values()) - min(variances.values())
+        assert spread < 0.15 * max(variances.values())
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_tvla_first_order_passes(self, order):
+        weights = [15] * 4 + [0] * 4
+        result = assess_macro(
+            lambda w: MaskedCimMacro(w, seed=5, order=order), weights)
+        assert not result.leaks
+
+
+class TestSecondOrderAttack:
+    def test_recovers_separable_values(self):
+        """0/3/7/15 have well-separated variance signatures; a handful
+        of template near-collisions (e.g. 0 vs 13, gap ~2.5 variance
+        units) keep single-run recovery just below perfect."""
+        weights = [0, 3, 7, 15, 15, 0, 7, 3]
+        attack = SecondOrderAttack(
+            MaskedCimMacro(weights, seed=6, order=1), PowerModel(0.0))
+        result = attack.run(traces=2500, profile_traces=3500)
+        assert result.accuracy(weights) >= 0.75
+        # The unambiguous signatures are always exact.
+        for index, weight in enumerate(weights):
+            if weight in (7, 15):
+                assert result.recovered[index] == weight
+
+    def test_far_above_chance_on_random_weights(self):
+        rng = np.random.default_rng(7)
+        weights = [int(w) for w in rng.integers(0, 16, 8)]
+        attack = SecondOrderAttack(
+            MaskedCimMacro(weights, seed=8, order=1), PowerModel(0.0))
+        result = attack.run(traces=2500, profile_traces=3500)
+        # Chance for exact 4-bit values is 1/16 = 6.25%.
+        assert result.accuracy(weights) >= 0.25
+
+    def test_defeated_by_second_order_masking(self):
+        weights = [0, 3, 7, 15, 15, 0, 7, 3]
+        attack = SecondOrderAttack(
+            MaskedCimMacro(weights, seed=9, order=2), PowerModel(0.0))
+        result = attack.run(traces=2500, profile_traces=3500)
+        assert result.accuracy(weights) < 0.5
+
+    def test_zero_variance_pins_fifteen(self):
+        weights = [15] * 4
+        attack = SecondOrderAttack(
+            MaskedCimMacro(weights, seed=10, order=1), PowerModel(0.0))
+        result = attack.run(traces=1500, profile_traces=2500)
+        assert result.recovered == [15, 15, 15, 15]
+        assert all(v == 0.0 for v in result.variances)

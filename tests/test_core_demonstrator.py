@@ -1,0 +1,57 @@
+"""Tests for the demonstrator assembly (paper Section IV)."""
+
+import pytest
+
+from repro.core import (ALL_USE_CASES, SecurityFramework,
+                        build_demonstrator, default_catalog)
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return SecurityFramework()
+
+
+class TestDemonstrator:
+    @pytest.mark.parametrize("factory", ALL_USE_CASES,
+                             ids=[f().name for f in ALL_USE_CASES])
+    def test_every_use_case_demonstrates(self, framework, factory):
+        """Section IV: the derived architecture must *work* when
+        assembled, for all four use cases."""
+        architecture = framework.derive(factory())
+        report = build_demonstrator(architecture)
+        assert report.all_passed, report.summary()
+
+    def test_one_check_per_selected_feature(self, framework):
+        from repro.core import traffic_supervision
+        architecture = framework.derive(traffic_supervision())
+        report = build_demonstrator(architecture)
+        assert len(report.checks) == len(architecture.features)
+        assert {c.feature for c in report.checks} == \
+            set(architecture.feature_names)
+
+    def test_every_catalog_feature_has_a_check(self):
+        from repro.core.demonstrator import _CHECKS
+        for name in default_catalog():
+            assert name in _CHECKS, f"no demonstrator check for {name}"
+
+    def test_summary_readable(self, framework):
+        from repro.core import satellite_imagery
+        report = build_demonstrator(framework.derive(satellite_imagery()))
+        text = report.summary()
+        assert "satellite-imagery" in text
+        assert "[ok ]" in text
+
+    def test_unknown_feature_fails_closed(self):
+        """An architecture naming a feature without a wired check must
+        surface a failure, never silently pass."""
+        from repro.core import WORST_CASE, Asset, Overhead, \
+            SecurityFeature, UseCaseProfile
+        from repro.core.framework import SecurityArchitecture
+        ghost = SecurityFeature(
+            "ghost_feature", "not wired", frozenset(), Overhead())
+        profile = UseCaseProfile("ghost", frozenset(), WORST_CASE)
+        architecture = SecurityArchitecture(
+            profile=profile, features=(ghost,))
+        report = build_demonstrator(architecture)
+        assert not report.all_passed
+        assert "no demonstrator check wired" in report.checks[0].detail

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples double as integration tests of the public API; running them
+in subprocesses keeps them honest (no stale imports, no reliance on
+test fixtures).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,165 @@
+"""Tests for the exhaustive and local-search explorers."""
+
+import pytest
+
+from repro.hades import (DesignContext, ExhaustiveExplorer,
+                         InfeasibleConfiguration, LocalSearchExplorer,
+                         Metrics, OptimizationGoal, Template, neighbours)
+
+G = OptimizationGoal
+
+
+def _quadratic_template():
+    """area = (a-3)^2 + (b-5)^2 + 1; unique optimum at a=3, b=5."""
+    def cost(params, subs, context):
+        return Metrics((params["a"] - 3) ** 2 + (params["b"] - 5) ** 2
+                       + 1.0, 1.0)
+
+    return Template("quad", cost, parameters={"a": tuple(range(8)),
+                                              "b": tuple(range(8))})
+
+
+def _nested_template():
+    leaf_a = Template("leaf_a",
+                      lambda p, s, c: Metrics(p["x"] + 1.0, 2.0),
+                      parameters={"x": (0, 1, 2)})
+    leaf_b = Template("leaf_b", lambda p, s, c: Metrics(10.0, 1.0))
+    return Template(
+        "parent",
+        lambda p, s, c: s["s"].combine(Metrics(p["y"], 0.0)),
+        parameters={"y": (0, 5)}, slots={"s": (leaf_a, leaf_b)})
+
+
+class TestExhaustive:
+    def test_finds_unique_optimum(self):
+        result = ExhaustiveExplorer(_quadratic_template()).run(G.AREA)
+        assert result.best.configuration.param("a") == 3
+        assert result.best.configuration.param("b") == 5
+        assert result.best_score == 1.0
+
+    def test_explored_equals_space_size(self):
+        result = ExhaustiveExplorer(_quadratic_template()).run(G.AREA)
+        assert result.explored == 64
+        assert result.feasible == 64
+
+    def test_nested_optimum(self):
+        result = ExhaustiveExplorer(_nested_template()).run(G.AREA)
+        assert result.best.metrics.area_kge == 1.0   # y=0, leaf_a x=0
+        assert result.best.configuration.slot("s").template == "leaf_a"
+
+    def test_latency_goal_prefers_leaf_b(self):
+        result = ExhaustiveExplorer(_nested_template()).run(G.LATENCY)
+        assert result.best.configuration.slot("s").template == "leaf_b"
+
+    def test_top_k_sorted(self):
+        result = ExhaustiveExplorer(_quadratic_template()).run(G.AREA,
+                                                               top_k=5)
+        scores = [G.AREA.score(d.metrics) for d in result.top]
+        assert scores == sorted(scores)
+        assert len(result.top) == 5
+        assert scores[0] == 1.0
+
+    def test_all_infeasible_raises(self):
+        def cost(params, subs, context):
+            raise InfeasibleConfiguration("nope")
+
+        t = Template("t", cost, parameters={"a": (1, 2)})
+        with pytest.raises(InfeasibleConfiguration):
+            ExhaustiveExplorer(t).run(G.AREA)
+
+    def test_run_all_goals_skips_masked_goals_at_order_0(self):
+        results = ExhaustiveExplorer(_quadratic_template(),
+                                     DesignContext()).run_all_goals()
+        assert G.RANDOMNESS not in results
+        assert G.AREA in results
+
+    def test_run_all_goals_includes_masked_goals_when_masked(self):
+        t = Template("t", lambda p, s, c: Metrics(1, 1, p["a"] + 1.0),
+                     parameters={"a": (0, 1)})
+        results = ExhaustiveExplorer(
+            t, DesignContext(masking_order=1)).run_all_goals()
+        assert G.RANDOMNESS in results
+        assert results[G.RANDOMNESS].best_score == 1.0
+
+    def test_tie_break_prefers_smaller_alp(self):
+        # Both latency-1 designs tie; the smaller-area one must win.
+        t = Template("t", lambda p, s, c: Metrics(p["a"], 1.0),
+                     parameters={"a": (5, 2, 9)})
+        result = ExhaustiveExplorer(t).run(G.LATENCY)
+        assert result.best.metrics.area_kge == 2
+
+
+class TestNeighbours:
+    def test_parameter_neighbours(self):
+        t = _quadratic_template()
+        config = t.default_configuration()
+        moves = list(neighbours(t, config))
+        # 7 alternatives for a + 7 for b.
+        assert len(moves) == 14
+
+    def test_slot_neighbours_include_candidate_switch(self):
+        t = _nested_template()
+        config = t.default_configuration()   # slot = leaf_a, x=0
+        moves = list(neighbours(t, config))
+        slot_templates = {m.slot("s").template for m in moves}
+        assert "leaf_b" in slot_templates
+        # y: 1 alternative; slot switch: 1; leaf_a.x: 2 → 4 moves.
+        assert len(moves) == 4
+
+    def test_neighbours_differ_in_exactly_one_site(self):
+        t = _quadratic_template()
+        config = t.default_configuration()
+        for move in neighbours(t, config):
+            differing = sum(1 for (ka, va), (kb, vb)
+                            in zip(config.params, move.params)
+                            if va != vb)
+            assert differing == 1
+
+
+class TestLocalSearch:
+    def test_finds_optimum_on_smooth_landscape(self):
+        result = LocalSearchExplorer(_quadratic_template(),
+                                     seed=7).run(G.AREA, starts=3)
+        assert result.best_score == 1.0
+
+    def test_single_start_can_miss_on_rugged_landscape(self):
+        # A landscape with a deceptive local optimum.
+        def cost(params, subs, context):
+            a = params["a"]
+            value = {0: 5.0, 1: 6.0, 2: 7.0, 3: 2.0, 4: 6.5}[a]
+            return Metrics(value, 1.0)
+
+        t = Template("rugged", cost, parameters={"a": (0, 1, 2, 3, 4)})
+        # From a=0 the only downhill move is directly to 3 (coordinate
+        # moves test all values of a), so this landscape is actually
+        # solvable in one move — verify multi-start still finds 2.0.
+        result = LocalSearchExplorer(t, seed=1).run(G.AREA, starts=2)
+        assert result.best_score == 2.0
+
+    def test_matches_exhaustive_on_nested_space(self):
+        exhaustive = ExhaustiveExplorer(_nested_template()).run(G.AREA)
+        local = LocalSearchExplorer(_nested_template(),
+                                    seed=3).run(G.AREA, starts=10)
+        assert local.best_score == exhaustive.best_score
+
+    def test_far_fewer_evaluations_than_exhaustive(self):
+        t = _quadratic_template()
+        local = LocalSearchExplorer(t, seed=0).run(G.AREA, starts=2)
+        assert local.evaluations < t.count_configurations() * 2
+
+    def test_deterministic_for_seed(self):
+        a = LocalSearchExplorer(_quadratic_template(), seed=5).run(
+            G.AREA, starts=3)
+        b = LocalSearchExplorer(_quadratic_template(), seed=5).run(
+            G.AREA, starts=3)
+        assert a.best.configuration == b.best.configuration
+
+    def test_recovers_from_infeasible_start(self):
+        def cost(params, subs, context):
+            if params["a"] >= 3:
+                raise InfeasibleConfiguration("masked LUT etc.")
+            return Metrics(float(params["a"] + 1), 1.0)
+
+        t = Template("t", cost, parameters={"a": (0, 1, 2, 3, 4, 5)})
+        result = LocalSearchExplorer(t, seed=11).run(G.AREA, starts=8)
+        assert result.best_score == 1.0

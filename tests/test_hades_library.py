@@ -1,0 +1,210 @@
+"""Tests for the HADES template library: Table I counts, Table II
+behaviour, masking scaling and the AGEMA baseline."""
+
+import pytest
+
+from repro.hades import (DesignContext, ExhaustiveExplorer,
+                         LocalSearchExplorer, OptimizationGoal,
+                         agema_adder, enumerate_designs)
+from repro.hades.library import (TABLE_I_ROWS, adder_family, adder_mod_q,
+                                 aes256, arx_adder_family, chacha20,
+                                 keccak, kyber_cca, kyber_cpa,
+                                 netlist_stats, polymul, sparse_polymul)
+
+G = OptimizationGoal
+
+
+class TestTableIConfigurationCounts:
+    """The exact configuration counts of Table I."""
+
+    @pytest.mark.parametrize("name,factory,expected",
+                             TABLE_I_ROWS, ids=[r[0] for r in TABLE_I_ROWS])
+    def test_count(self, name, factory, expected):
+        assert factory().count_configurations() == expected
+
+    def test_family_sums(self):
+        assert sum(t.count_configurations()
+                   for t in adder_family()) == 31
+        assert sum(t.count_configurations()
+                   for t in arx_adder_family()) == 30
+
+    @pytest.mark.parametrize(
+        "factory", [keccak, adder_mod_q, sparse_polymul, chacha20,
+                    polymul],
+        ids=["keccak", "adder_mod_q", "sparse_polymul", "chacha20",
+             "polymul"])
+    def test_enumeration_matches_count_unmasked(self, factory):
+        template = factory()
+        designs = list(enumerate_designs(template, DesignContext()))
+        assert len(designs) == template.count_configurations()
+
+    def test_aes_feasible_subset(self):
+        """Full unrolling requires the 128-bit datapath: of the 720
+        unrolled points, the 480 with a narrow datapath are infeasible,
+        leaving 960 buildable designs in the 1440-point space."""
+        designs = list(enumerate_designs(aes256(), DesignContext()))
+        assert len(designs) == 960
+
+    def test_compositional_structure(self):
+        """Kyber-CCA = polymul x keccak x local choices, as documented."""
+        assert kyber_cca().count_configurations() == 1302 * 14 * 63
+        assert kyber_cpa().count_configurations() == 1302 * 31
+
+
+class TestMaskingBehaviour:
+    @pytest.mark.parametrize("factory", [adder_mod_q, keccak],
+                             ids=["adder_mod_q", "keccak"])
+    def test_masked_designs_cost_more(self, factory):
+        template = factory()
+        base = ExhaustiveExplorer(template, DesignContext()).run(G.AREA)
+        masked = ExhaustiveExplorer(
+            template, DesignContext(masking_order=1)).run(G.AREA)
+        assert masked.best.metrics.area_kge > base.best.metrics.area_kge
+        assert masked.best.metrics.randomness_bits > 0
+        assert base.best.metrics.randomness_bits == 0
+
+    def test_randomness_scales_with_order(self):
+        template = adder_mod_q()
+        r1 = ExhaustiveExplorer(
+            template, DesignContext(masking_order=1)).run(G.RANDOMNESS)
+        r2 = ExhaustiveExplorer(
+            template, DesignContext(masking_order=2)).run(G.RANDOMNESS)
+        # d(d+1)/2 scaling: order 2 needs 3x the fresh bits.
+        assert r2.best_score == pytest.approx(3 * r1.best_score)
+
+    def test_aes_lut_sbox_infeasible_when_masked(self):
+        designs = list(enumerate_designs(aes256(),
+                                         DesignContext(masking_order=1)))
+        assert all(d.configuration.param("sbox") != "lut"
+                   for d in designs)
+        assert len(designs) < aes256().count_configurations()
+
+
+class TestTableIIAes:
+    """The AES-256 case study must land on Table II's design points."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for order in (0, 1, 2):
+            explorer = ExhaustiveExplorer(
+                aes256(), DesignContext(masking_order=order))
+            out[order] = explorer.run_all_goals()
+        return out
+
+    def test_d0_latency_optimum(self, results):
+        best = results[0][G.LATENCY].best
+        assert best.metrics.latency_cc == 19
+        assert best.metrics.area_kge == pytest.approx(41.4, abs=0.5)
+        assert best.configuration.param("sbox") == "lut"
+        assert best.configuration.param("datapath") == 128
+
+    def test_d0_area_optimum(self, results):
+        best = results[0][G.AREA].best
+        assert best.metrics.latency_cc == 1378
+        assert best.metrics.area_kge == pytest.approx(12.9, rel=0.05)
+        assert best.configuration.param("datapath") == 8
+
+    @pytest.mark.parametrize("order,paper_latency", [(1, 71), (2, 71)])
+    def test_masked_latency_optimum(self, results, order, paper_latency):
+        best = results[order][G.LATENCY].best
+        assert best.metrics.latency_cc == paper_latency
+        assert best.configuration.param("round_unroll") == 14
+
+    def test_masked_latency_randomness_shape(self, results):
+        """Paper: 16 200 bits at d=1, 48 588 at d=2 (ratio ~3)."""
+        r1 = results[1][G.LATENCY].best.metrics.randomness_bits
+        r2 = results[2][G.LATENCY].best.metrics.randomness_bits
+        assert r1 == pytest.approx(16200, rel=0.01)
+        assert r2 == pytest.approx(3 * r1)
+
+    @pytest.mark.parametrize("order,paper", [(1, 2948), (2, 2946)])
+    def test_masked_area_optimum(self, results, order, paper):
+        best = results[order][G.AREA].best
+        assert best.metrics.latency_cc == pytest.approx(paper, abs=2)
+        assert best.configuration.param("datapath") == 8
+
+    def test_masked_area_randomness(self, results):
+        assert results[1][G.AREA].best.metrics.randomness_bits == 144
+
+    @pytest.mark.parametrize("order,paper_rand", [(1, 68), (2, 204)])
+    def test_randomness_optimum(self, results, order, paper_rand):
+        best = results[order][G.RANDOMNESS].best
+        assert best.metrics.randomness_bits == paper_rand
+        assert best.metrics.latency_cc == 4514
+
+    def test_alp_optimum_latency(self, results):
+        assert results[1][G.AREA_LATENCY].best.metrics.latency_cc == 75
+        assert results[2][G.AREA_LATENCY].best.metrics.latency_cc == 75
+
+    def test_masking_inflates_area_superlinearly(self, results):
+        a0 = results[0][G.LATENCY].best.metrics.area_kge
+        a1 = results[1][G.LATENCY].best.metrics.area_kge
+        a2 = results[2][G.LATENCY].best.metrics.area_kge
+        assert a1 > 20 * a0          # paper: 41.4 -> 1205.3
+        assert a2 > 1.5 * a1         # paper: 1205.3 -> 2321.1
+
+
+class TestLocalSearchOnKyber:
+    """Paper: perfect Kyber-CCA result from ~50 starts, >>100x faster."""
+
+    def test_fifty_starts_match_exhaustive(self):
+        context = DesignContext(masking_order=1)
+        exhaustive = ExhaustiveExplorer(kyber_cca(), context).run(G.AREA)
+        local = LocalSearchExplorer(kyber_cca(), context,
+                                    seed=42).run(G.AREA, starts=50)
+        assert local.best_score == pytest.approx(exhaustive.best_score)
+        assert local.evaluations < exhaustive.explored / 10
+
+    def test_single_start_is_cheaper_but_may_be_worse(self):
+        context = DesignContext(masking_order=1)
+        fifty = LocalSearchExplorer(kyber_cca(), context,
+                                    seed=42).run(G.AREA, starts=50)
+        one = LocalSearchExplorer(kyber_cca(), context,
+                                  seed=42).run(G.AREA, starts=1)
+        assert one.evaluations < fifty.evaluations
+        assert one.best_score >= fifty.best_score
+
+
+class TestAgemaBaseline:
+    """Paper: HADES adders outperform AGEMA's post-processed netlists."""
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_hades_dominates_agema_on_every_adder(self, order):
+        context = DesignContext(masking_order=order, width=32)
+        for template in adder_family():
+            for design in enumerate_designs(template, context):
+                params = dict(design.configuration.params)
+                baseline = agema_adder(template.name, params, context)
+                assert design.metrics.area_kge < \
+                    baseline.metrics.area_kge
+                assert design.metrics.latency_cc <= \
+                    baseline.metrics.latency_cc
+                assert design.metrics.randomness_bits <= \
+                    baseline.metrics.randomness_bits
+
+    def test_agema_equals_netlist_when_unmasked(self):
+        context = DesignContext(masking_order=0, width=32)
+        result = agema_adder("ripple_carry", {}, context)
+        # No gadgets, no sync registers: only the linear duplication
+        # penalty differentiates the flows.
+        assert result.metrics.randomness_bits == 0
+
+    def test_netlist_stats_exposed(self):
+        stats = netlist_stats("ripple_carry", {}, 32)
+        assert stats["and_gates"] == 96
+        assert stats["and_depth"] == 32
+
+
+class TestDseRuntimeShape:
+    """Table I's qualitative property: runtime grows with space size."""
+
+    def test_runtime_ordering(self):
+        times = {}
+        for name, factory, count in TABLE_I_ROWS[:5]:
+            result = ExhaustiveExplorer(factory(),
+                                        DesignContext()).run(G.AREA)
+            times[name] = (count, result.elapsed_seconds)
+        keccak_time = times["Keccak"][1]
+        aes_time = times["AES"][1]
+        assert aes_time > keccak_time

@@ -1,0 +1,191 @@
+"""Tests for the HADES template system, metrics and masking models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hades import (Configuration, DesignContext,
+                         InfeasibleConfiguration, Metrics,
+                         OptimizationGoal, Template, enumerate_designs)
+from repro.hades import masking
+
+
+def _const_cost(area, latency, rand=0.0):
+    return lambda params, subs, context: Metrics(area, latency, rand)
+
+
+class TestMetrics:
+    def test_products(self):
+        m = Metrics(2.0, 10.0, 4.0)
+        assert m.area_latency_product == 20.0
+        assert m.area_latency_randomness_product == 80.0
+
+    def test_combine(self):
+        a = Metrics(1.0, 2.0, 3.0).combine(Metrics(4.0, 5.0, 6.0))
+        assert a == Metrics(5.0, 7.0, 9.0)
+
+    def test_scaled(self):
+        assert Metrics(2.0, 4.0, 8.0).scaled(area=0.5) == \
+            Metrics(1.0, 4.0, 8.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Metrics(-1.0, 1.0)
+
+    @pytest.mark.parametrize("goal,expected", [
+        (OptimizationGoal.LATENCY, 10.0),
+        (OptimizationGoal.AREA, 2.0),
+        (OptimizationGoal.RANDOMNESS, 4.0),
+        (OptimizationGoal.AREA_LATENCY, 20.0),
+        (OptimizationGoal.AREA_LATENCY_RANDOMNESS, 80.0),
+    ])
+    def test_goal_scores(self, goal, expected):
+        assert goal.score(Metrics(2.0, 10.0, 4.0)) == expected
+
+    def test_masking_only_goals(self):
+        assert OptimizationGoal.RANDOMNESS.needs_masking
+        assert not OptimizationGoal.AREA.needs_masking
+
+
+class TestMaskingModel:
+    def test_shares(self):
+        assert masking.shares(0) == 1
+        assert masking.shares(2) == 3
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            masking.shares(-1)
+
+    def test_gadget_randomness_follows_d_d1_over_2(self):
+        assert masking.and_gadget_randomness_bits(0) == 0
+        assert masking.and_gadget_randomness_bits(1) == 1
+        assert masking.and_gadget_randomness_bits(2) == 3
+        assert masking.and_gadget_randomness_bits(3) == 6
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 8))
+    def test_gadget_area_monotone_in_order(self, order):
+        assert masking.and_gadget_area_ge(order + 1) > \
+            masking.and_gadget_area_ge(order)
+
+    def test_latency_stages_order_independent(self):
+        assert masking.and_gadget_latency_stages(0) == 0
+        assert masking.and_gadget_latency_stages(1) == \
+            masking.and_gadget_latency_stages(5)
+
+
+class TestTemplate:
+    def test_count_parameters_multiply(self):
+        t = Template("t", _const_cost(1, 1),
+                     parameters={"a": (1, 2, 3), "b": ("x", "y")})
+        assert t.count_configurations() == 6
+
+    def test_count_slots_sum_then_multiply(self):
+        leaf_a = Template("leaf_a", _const_cost(1, 1),
+                          parameters={"p": (1, 2)})
+        leaf_b = Template("leaf_b", _const_cost(2, 2))
+        parent = Template("parent", _const_cost(0, 0),
+                          parameters={"q": (1, 2, 3)},
+                          slots={"s": (leaf_a, leaf_b)})
+        assert parent.count_configurations() == 3 * (2 + 1)
+
+    def test_enumeration_matches_count(self):
+        leaf_a = Template("leaf_a", _const_cost(1, 1),
+                          parameters={"p": (1, 2)})
+        leaf_b = Template("leaf_b", _const_cost(2, 2))
+        parent = Template(
+            "parent",
+            lambda params, subs, context: subs["s"].combine(
+                Metrics(params["q"], 0)),
+            parameters={"q": (1, 2, 3)}, slots={"s": (leaf_a, leaf_b)})
+        designs = list(enumerate_designs(parent, DesignContext()))
+        assert len(designs) == parent.count_configurations()
+
+    def test_nested_metrics_flow_upward(self):
+        leaf = Template("leaf", _const_cost(1.5, 7))
+        parent = Template(
+            "parent",
+            lambda params, subs, context: subs["s"].scaled(area=2),
+            slots={"s": (leaf,)})
+        design = next(iter(enumerate_designs(parent, DesignContext())))
+        assert design.metrics.area_kge == 3.0
+        assert design.metrics.latency_cc == 7
+
+    def test_empty_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            Template("t", _const_cost(1, 1), parameters={"a": ()})
+
+    def test_empty_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Template("t", _const_cost(1, 1), slots={"s": ()})
+
+    def test_infeasible_configurations_skipped(self):
+        def cost(params, subs, context):
+            if params["a"] == 2:
+                raise InfeasibleConfiguration("no")
+            return Metrics(1, 1)
+
+        t = Template("t", cost, parameters={"a": (1, 2, 3)})
+        designs = list(enumerate_designs(t, DesignContext()))
+        assert len(designs) == 2
+        assert t.count_configurations() == 3   # space size unchanged
+
+    def test_evaluate_specific_configuration(self):
+        t = Template("t", lambda p, s, c: Metrics(p["a"], 1),
+                     parameters={"a": (1, 2, 3)})
+        config = Configuration("t", (("a", 2),), ())
+        assert t.evaluate(config, DesignContext()).area_kge == 2
+
+    def test_evaluate_rejects_foreign_configuration(self):
+        t = Template("t", _const_cost(1, 1))
+        with pytest.raises(ValueError):
+            t.evaluate(Configuration("other", (), ()), DesignContext())
+
+    def test_default_configuration_is_first(self):
+        leaf = Template("leaf", _const_cost(1, 1),
+                        parameters={"p": (10, 20)})
+        parent = Template("parent", lambda p, s, c: s["s"],
+                          slots={"s": (leaf,)})
+        config = parent.default_configuration()
+        assert config.slot("s").param("p") == 10
+
+    def test_random_configuration_valid(self):
+        import random
+        leaf_a = Template("leaf_a", _const_cost(1, 1),
+                          parameters={"p": (1, 2)})
+        leaf_b = Template("leaf_b", _const_cost(2, 2))
+        parent = Template("parent", lambda p, s, c: s["s"],
+                          parameters={"q": (1, 2, 3)},
+                          slots={"s": (leaf_a, leaf_b)})
+        rng = random.Random(3)
+        seen = set()
+        for _ in range(50):
+            config = parent.random_configuration(rng)
+            parent.evaluate(config, DesignContext())   # must not raise
+            seen.add(config)
+        assert len(seen) > 3
+
+    def test_describe_readable(self):
+        t = Template("t", _const_cost(1, 1), parameters={"a": (1,)})
+        assert "a=1" in t.default_configuration().describe()
+
+    def test_context_validation(self):
+        with pytest.raises(ValueError):
+            DesignContext(masking_order=-1)
+        with pytest.raises(ValueError):
+            DesignContext(width=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 4))
+    def test_count_formula_property(self, n_params, n_candidates, n_leaf):
+        """Closed-form count always equals brute-force enumeration."""
+        leaves = [Template(f"leaf{i}", _const_cost(1, 1),
+                           parameters={"p": tuple(range(n_leaf))})
+                  for i in range(n_candidates)]
+        parent = Template("parent", lambda p, s, c: s["s"],
+                          parameters={"a": tuple(range(n_params))},
+                          slots={"s": tuple(leaves)})
+        count = parent.count_configurations()
+        assert count == n_params * n_candidates * n_leaf
+        assert count == len(list(enumerate_designs(parent,
+                                                   DesignContext())))

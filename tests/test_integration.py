@@ -1,0 +1,226 @@
+"""Cross-subsystem integration tests.
+
+Each test exercises a flow the paper motivates across module
+boundaries: attested ML-KEM model delivery into a CIM macro, the
+framework catalog's consistency with the substrates that implement it,
+and the TEE/RTOS sharing one PMP model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cim import (DigitalCimMacro, MaskedCimMacro, PowerModel,
+                       WeightExtractionAttack)
+from repro.core import SecurityFramework, default_catalog
+from repro.rtos import Kernel, TaskState
+from repro.soc import AccessFault, PrivilegeMode
+from repro.tee import (AttestedPublisher, EnclaveKemIdentity, build_tee,
+                       seal, unseal)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_tee(b"\x42" * 32, post_quantum=True)
+
+
+class TestAttestedDelivery:
+    """The full vendor -> device -> enclave -> CIM flow."""
+
+    @pytest.fixture(scope="class")
+    def flow(self, platform):
+        enclave = platform.sm.create_enclave(b"inference-runtime")
+        identity = EnclaveKemIdentity(seed_d=bytes(32), seed_z=bytes(32))
+        report = platform.sm.attest_enclave(enclave,
+                                            identity.report_binding())
+        publisher = AttestedPublisher(
+            platform.device.public_identity(),
+            platform.boot_report.sm_measurement,
+            enclave.measurement)
+        return enclave, identity, report, publisher
+
+    def test_genuine_flow_delivers(self, flow):
+        enclave, identity, report, publisher = flow
+        weights = bytes([1, 15, 7, 3] * 4)
+        package = publisher.deliver(report.encode(), identity.ek,
+                                    weights, entropy=bytes(32))
+        assert package is not None
+        assert identity.unwrap(package) == weights
+
+    def test_delivered_weights_run_on_cim(self, flow):
+        enclave, identity, report, publisher = flow
+        weights = bytes([1, 15, 7, 3] * 4)
+        package = publisher.deliver(report.encode(), identity.ek,
+                                    weights, entropy=bytes(32))
+        macro = DigitalCimMacro(list(identity.unwrap(package)))
+        value, _ = macro.operate([1] * 16)
+        assert value == sum(weights)
+
+    def test_swapped_kem_key_refused(self, flow):
+        _, _, report, publisher = flow
+        mitm = EnclaveKemIdentity(seed_d=b"\x01" * 32,
+                                  seed_z=b"\x02" * 32)
+        assert publisher.deliver(report.encode(), mitm.ek,
+                                 b"weights") is None
+
+    def test_tampered_report_refused(self, flow):
+        _, identity, report, publisher = flow
+        encoded = bytearray(report.encode())
+        encoded[70] ^= 1
+        assert publisher.deliver(bytes(encoded), identity.ek,
+                                 b"weights") is None
+
+    def test_garbage_report_refused(self, flow):
+        _, identity, _, publisher = flow
+        assert publisher.deliver(b"junk", identity.ek, b"w") is None
+
+    def test_modified_sm_refused(self, flow):
+        _, identity, _, publisher = flow
+        evil = build_tee(b"\x42" * 32, post_quantum=True,
+                         sm_version=99)
+        enclave = evil.sm.create_enclave(b"inference-runtime")
+        report = evil.sm.attest_enclave(enclave,
+                                        identity.report_binding())
+        assert publisher.deliver(report.encode(), identity.ek,
+                                 b"weights") is None
+
+    def test_tampered_package_fails_unwrap(self, flow):
+        _, identity, report, publisher = flow
+        package = publisher.deliver(report.encode(), identity.ek,
+                                    b"weights", entropy=bytes(32))
+        tampered = bytearray(package.sealed_payload)
+        tampered[0] ^= 1
+        package.sealed_payload = bytes(tampered)
+        with pytest.raises(ValueError):
+            identity.unwrap(package)
+
+    def test_kem_ciphertext_tamper_fails_unwrap(self, flow):
+        """Implicit rejection inside ML-KEM surfaces as an AEAD
+        failure, not a silent wrong-weights load."""
+        _, identity, report, publisher = flow
+        package = publisher.deliver(report.encode(), identity.ek,
+                                    b"weights", entropy=bytes(32))
+        tampered = bytearray(package.kem_ciphertext)
+        tampered[100] ^= 1
+        package.kem_ciphertext = bytes(tampered)
+        with pytest.raises(ValueError):
+            identity.unwrap(package)
+
+
+class TestSealedModelAcrossReboots:
+    def test_sealed_model_survives_reboot_same_sm(self):
+        first = build_tee(b"\x77" * 32, post_quantum=True)
+        enclave_1 = first.sm.create_enclave(b"runtime")
+        blob = seal(first.sm.sealing_key(enclave_1), bytes(12),
+                    b"weights", b"v1")
+        # Reboot: fresh memory, same device + same SM image.
+        second = build_tee(b"\x77" * 32, post_quantum=True)
+        enclave_2 = second.sm.create_enclave(b"runtime")
+        assert unseal(second.sm.sealing_key(enclave_2), bytes(12),
+                      blob, b"v1") == b"weights"
+
+    def test_sm_upgrade_invalidates_seals(self):
+        """Data sealed under SM v1 is unreadable after an SM change —
+        the documented price of measurement-bound sealing."""
+        old = build_tee(b"\x77" * 32, post_quantum=True, sm_version=1)
+        enclave = old.sm.create_enclave(b"runtime")
+        blob = seal(old.sm.sealing_key(enclave), bytes(12), b"w", b"v1")
+        upgraded = build_tee(b"\x77" * 32, post_quantum=True,
+                             sm_version=2)
+        enclave_2 = upgraded.sm.create_enclave(b"runtime")
+        with pytest.raises(ValueError):
+            unseal(upgraded.sm.sealing_key(enclave_2), bytes(12), blob,
+                   b"v1")
+
+
+class TestCatalogSubstrateConsistency:
+    """The framework catalog must point at real code."""
+
+    def test_implemented_by_references_exist(self):
+        import importlib
+        for feature in default_catalog().values():
+            # The first dotted token before any space/parenthesis must
+            # be an importable module of this package.
+            target = feature.implemented_by.split()[0].split("(")[0]
+            module = target.split("/")[0]
+            parts = module.split(".")
+            for end in range(len(parts), 1, -1):
+                try:
+                    importlib.import_module(".".join(parts[:end]))
+                    break
+                except ImportError:
+                    continue
+            else:
+                pytest.fail(f"{feature.name}: implemented_by points at "
+                            f"nothing importable: {module}")
+
+    def test_masked_crypto_overhead_matches_hades(self):
+        """The catalog's masking overhead must stay consistent with
+        what the HADES Table II reproduction actually measures."""
+        from repro.hades import DesignContext, ExhaustiveExplorer, \
+            OptimizationGoal
+        from repro.hades.library import aes256
+        masked = ExhaustiveExplorer(
+            aes256(), DesignContext(masking_order=1)).run(
+            OptimizationGoal.AREA).best.metrics
+        unmasked = ExhaustiveExplorer(
+            aes256(), DesignContext(masking_order=0)).run(
+            OptimizationGoal.AREA).best.metrics
+        catalog = default_catalog()
+        claimed = catalog["masked_crypto_hw"].overhead.area_kge
+        measured = masked.area_kge - unmasked.area_kge
+        assert claimed == pytest.approx(measured, rel=0.25)
+
+    def test_bootrom_code_overhead_matches_tee(self):
+        from repro.tee import BootRom, Device
+        catalog = default_catalog()
+        rom = BootRom(Device(bytes(32)))
+        assert catalog["measured_boot"].overhead.code_bytes == \
+            rom.image_size
+        pq_rom = BootRom(Device(bytes(32), post_quantum=True))
+        assert catalog["pq_signatures"].overhead.code_bytes == \
+            pq_rom.image_size - rom.image_size
+
+    def test_cim_masking_feature_actually_works(self):
+        """The catalog claims cim_masking mitigates power SCA on model
+        weights; the substrate must back that up."""
+        weights = [0, 15] + [7, 11, 13, 14, 3, 8, 5, 10, 12, 6, 9, 1,
+                             2, 4]
+        attack = WeightExtractionAttack(MaskedCimMacro(weights, seed=3),
+                                        PowerModel(0.0), repetitions=3)
+        assert attack.run().accuracy(weights) < 0.5
+
+
+class TestTeeRtosSharedPmp:
+    """TEE and RTOS build on the same PMP model: a U-mode workload
+    inside an SM enclave behaves like a PMP-confined RTOS task."""
+
+    def test_enclave_runs_at_user_privilege(self, platform):
+        enclave = platform.sm.create_enclave(b"probe")
+        observed = {}
+
+        def workload(hart):
+            observed["mode"] = hart.mode
+
+        platform.sm.run_enclave(enclave, workload)
+        assert observed["mode"] is PrivilegeMode.USER
+        platform.sm.destroy_enclave(enclave)
+
+    def test_rtos_task_and_enclave_fault_identically(self, platform):
+        # Enclave touching SM memory:
+        enclave = platform.sm.create_enclave(b"probe")
+        with pytest.raises(AccessFault):
+            platform.sm.run_enclave(
+                enclave,
+                lambda hart: hart.load(
+                    platform.memory.memory_map["dram"].base, 4))
+        platform.sm.destroy_enclave(enclave)
+        # RTOS task touching kernel memory:
+        kernel = Kernel(protected=True)
+
+        def rogue(ctx):
+            ctx.load(kernel.kernel_region.base, 4)
+            yield
+
+        task = kernel.create_task("rogue", 1, rogue)
+        kernel.run(10)
+        assert task.state is TaskState.FAULTED

@@ -1,0 +1,135 @@
+"""Tests for the from-scratch Keccak/SHA-3/SHAKE implementation.
+
+The strongest oracle available offline is ``hashlib``, which implements
+the same FIPS 202 functions in C; we cross-validate against it on fixed
+and randomized inputs.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import keccak
+
+
+class TestPermutation:
+    def test_round_constant_count(self):
+        assert len(keccak.ROUND_CONSTANTS) == 24
+
+    def test_rho_offsets_shape_and_origin(self):
+        assert len(keccak.ROTATION_OFFSETS) == 5
+        assert all(len(row) == 5 for row in keccak.ROTATION_OFFSETS)
+        assert keccak.ROTATION_OFFSETS[0][0] == 0
+
+    def test_rho_offsets_known_values(self):
+        # Spot-check entries of the FIPS 202 table.
+        assert keccak.ROTATION_OFFSETS[1][0] == 1
+        assert keccak.ROTATION_OFFSETS[2][2] == 43
+        assert keccak.ROTATION_OFFSETS[4][4] == 14
+
+    def test_permutation_changes_zero_state(self):
+        out = keccak.keccak_f1600([0] * 25)
+        assert out != [0] * 25
+        # First lane of Keccak-f[1600] applied to the zero state.
+        assert out[0] == 0xF1258F7940E1DDE7
+
+    def test_permutation_is_pure(self):
+        state = list(range(25))
+        snapshot = list(state)
+        keccak.keccak_f1600(state)
+        assert state == snapshot
+
+
+class TestPureAgainstHashlib:
+    """The from-scratch sponge must be byte-identical to CPython's C
+    implementation of FIPS 202 — this is the correctness oracle that
+    justifies the accelerated dispatch in the public entry points."""
+
+    CASES = [b"", b"a", b"abc", b"x" * 135, b"x" * 136, b"x" * 137,
+             b"y" * 1000]
+
+    @pytest.mark.parametrize("data", CASES)
+    def test_sha3_256(self, data):
+        assert keccak.pure_sha3_256(data) == \
+            hashlib.sha3_256(data).digest()
+
+    @pytest.mark.parametrize("data", CASES)
+    def test_sha3_512(self, data):
+        assert keccak.pure_sha3_512(data) == \
+            hashlib.sha3_512(data).digest()
+
+    @pytest.mark.parametrize("data", CASES)
+    def test_shake128(self, data):
+        assert keccak.pure_shake128(data, 64) == \
+            hashlib.shake_128(data).digest(64)
+
+    @pytest.mark.parametrize("data", CASES)
+    def test_shake256(self, data):
+        assert keccak.pure_shake256(data, 64) == \
+            hashlib.shake_256(data).digest(64)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=600), st.integers(min_value=1, max_value=300))
+    def test_shake256_random(self, data, out_len):
+        assert keccak.pure_shake256(data, out_len) == \
+            hashlib.shake_256(data).digest(out_len)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=600))
+    def test_sha3_256_random(self, data):
+        assert keccak.pure_sha3_256(data) == \
+            hashlib.sha3_256(data).digest()
+
+
+class TestDispatch:
+    """Public entry points agree with the pure sponge whichever backend
+    is active."""
+
+    @pytest.mark.parametrize("data", [b"", b"dispatch", b"z" * 137])
+    def test_oneshot_functions(self, data):
+        assert keccak.sha3_256(data) == keccak.pure_sha3_256(data)
+        assert keccak.sha3_512(data) == keccak.pure_sha3_512(data)
+        assert keccak.shake128(data, 77) == keccak.pure_shake128(data, 77)
+        assert keccak.shake256(data, 77) == keccak.pure_shake256(data, 77)
+
+
+class TestIncremental:
+    def test_split_absorption_matches_oneshot(self):
+        xof = keccak.Shake256()
+        xof.absorb(b"hello ").absorb(b"world")
+        assert xof.read(99) == keccak.shake256(b"hello world", 99)
+
+    def test_split_squeeze_matches_oneshot(self):
+        xof = keccak.Shake128(b"seed")
+        out = xof.read(10) + xof.read(200) + xof.read(1)
+        assert out == keccak.shake128(b"seed", 211)
+
+    def test_absorb_after_read_rejected(self):
+        xof = keccak.Shake256(b"x")
+        xof.read(1)
+        with pytest.raises(RuntimeError):
+            xof.absorb(b"late")
+
+    def test_pure_sponge_split_squeeze(self):
+        sponge = keccak.KeccakSponge(136, 0x1F).absorb(b"seed")
+        out = sponge.squeeze(10) + sponge.squeeze(200)
+        assert out == hashlib.shake_256(b"seed").digest(210)
+
+    def test_pure_sponge_absorb_after_squeeze_rejected(self):
+        sponge = keccak.KeccakSponge(136, 0x1F)
+        sponge.squeeze(1)
+        with pytest.raises(RuntimeError):
+            sponge.absorb(b"late")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            keccak.KeccakSponge(0, 0x06)
+        with pytest.raises(ValueError):
+            keccak.KeccakSponge(200, 0x06)
+
+    def test_squeeze_across_rate_boundary(self):
+        # 136-byte rate: a 150-byte read forces a mid-read permutation.
+        assert keccak.pure_shake256(b"q", 150) == \
+            hashlib.shake_256(b"q").digest(150)

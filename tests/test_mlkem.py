@@ -1,0 +1,192 @@
+"""Tests for the from-scratch ML-KEM (FIPS 203) implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import mlkem
+from repro.crypto.mlkem import (ML_KEM_512, ML_KEM_768, ML_KEM_1024,
+                                MLKEM, N, Q)
+
+D_SEED = bytes(range(32))
+Z_SEED = bytes(range(32, 64))
+
+
+@pytest.fixture(scope="module")
+def keypair768():
+    return MLKEM(ML_KEM_768).key_gen(D_SEED, Z_SEED)
+
+
+class TestNTT:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, Q - 1), min_size=N, max_size=N))
+    def test_ntt_roundtrip(self, coeffs):
+        assert mlkem.intt(mlkem.ntt(coeffs)) == coeffs
+
+    def test_ntt_multiplication_matches_schoolbook(self):
+        import random
+        rng = random.Random(13)
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        fast = mlkem.intt(mlkem.ntt_mul(mlkem.ntt(a), mlkem.ntt(b)))
+        slow = [0] * N
+        for i in range(N):
+            for j in range(N):
+                index = i + j
+                term = a[i] * b[j]
+                if index >= N:
+                    slow[index - N] = (slow[index - N] - term) % Q
+                else:
+                    slow[index] = (slow[index] + term) % Q
+        assert fast == slow
+
+    def test_zetas_are_256th_roots(self):
+        assert all(pow(z, 256, Q) == 1 for z in mlkem.ZETAS)
+        assert len(mlkem.ZETAS) == 128
+        assert len(mlkem.GAMMAS) == 128
+
+
+class TestCompression:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, Q - 1), st.sampled_from([1, 4, 5, 10, 11]))
+    def test_compress_roundtrip_error_bound(self, value, bits):
+        """|Decompress(Compress(x)) - x| <= round(q / 2^{d+1})."""
+        recovered = mlkem.decompress(mlkem.compress(value, bits), bits)
+        error = min((recovered - value) % Q, (value - recovered) % Q)
+        assert error <= (Q + (1 << (bits + 1)) - 1) // (1 << (bits + 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1))
+    def test_one_bit_roundtrip_exact(self, bit):
+        assert mlkem.compress(mlkem.decompress(bit, 1), 1) == bit
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 10 - 1), min_size=N,
+                    max_size=N))
+    def test_byte_encode_roundtrip(self, coeffs):
+        assert mlkem.byte_decode(mlkem.byte_encode(coeffs, 10),
+                                 10) == coeffs
+
+
+class TestSampling:
+    def test_sample_ntt_uniform_range(self):
+        poly = mlkem.sample_ntt(bytes(32) + b"\x00\x01")
+        assert len(poly) == N
+        assert all(0 <= c < Q for c in poly)
+
+    @pytest.mark.parametrize("eta", [2, 3])
+    def test_cbd_range(self, eta):
+        poly = mlkem.sample_cbd(bytes(range(64)) * eta, eta)
+        assert len(poly) == N
+        centred = [c if c <= Q // 2 else c - Q for c in poly]
+        assert all(-eta <= c <= eta for c in centred)
+
+    def test_cbd_length_check(self):
+        with pytest.raises(ValueError):
+            mlkem.sample_cbd(bytes(10), 2)
+
+
+class TestParameterSets:
+    @pytest.mark.parametrize("params,ek,dk,ct", [
+        (ML_KEM_512, 800, 1632, 768),
+        (ML_KEM_768, 1184, 2400, 1088),
+        (ML_KEM_1024, 1568, 3168, 1568),
+    ])
+    def test_standard_sizes(self, params, ek, dk, ct):
+        assert params.ek_bytes == ek
+        assert params.dk_bytes == dk
+        assert params.ciphertext_bytes == ct
+
+    @pytest.mark.parametrize("params", [ML_KEM_512, ML_KEM_1024],
+                             ids=lambda p: p.name)
+    def test_roundtrip_other_sets(self, params):
+        kem = MLKEM(params)
+        ek, dk = kem.key_gen(D_SEED, Z_SEED)
+        key, ciphertext = kem.encaps(ek, bytes(32))
+        assert kem.decaps(dk, ciphertext) == key
+
+
+class TestKem:
+    def test_generated_sizes(self, keypair768):
+        ek, dk = keypair768
+        assert len(ek) == 1184
+        assert len(dk) == 2400
+
+    def test_encaps_decaps(self, keypair768):
+        ek, dk = keypair768
+        kem = MLKEM(ML_KEM_768)
+        key, ciphertext = kem.encaps(ek, bytes(32))
+        assert len(key) == 32
+        assert len(ciphertext) == 1088
+        assert kem.decaps(dk, ciphertext) == key
+
+    def test_keygen_deterministic_in_seeds(self):
+        kem = MLKEM(ML_KEM_768)
+        assert kem.key_gen(D_SEED, Z_SEED) == kem.key_gen(D_SEED, Z_SEED)
+        assert kem.key_gen(D_SEED, Z_SEED) != \
+            kem.key_gen(Z_SEED, D_SEED)
+
+    def test_different_randomness_different_key(self, keypair768):
+        ek, _ = keypair768
+        kem = MLKEM(ML_KEM_768)
+        key_a, ct_a = kem.encaps(ek, b"\x01" * 32)
+        key_b, ct_b = kem.encaps(ek, b"\x02" * 32)
+        assert key_a != key_b
+        assert ct_a != ct_b
+
+    def test_implicit_rejection_on_tamper(self, keypair768):
+        ek, dk = keypair768
+        kem = MLKEM(ML_KEM_768)
+        key, ciphertext = kem.encaps(ek, bytes(32))
+        for index in (0, 500, 1087):
+            tampered = bytearray(ciphertext)
+            tampered[index] ^= 1
+            derived = kem.decaps(dk, bytes(tampered))
+            assert derived != key
+            assert len(derived) == 32
+
+    def test_implicit_rejection_deterministic(self, keypair768):
+        """The rejection key depends only on (z, ciphertext)."""
+        ek, dk = keypair768
+        kem = MLKEM(ML_KEM_768)
+        _, ciphertext = kem.encaps(ek, bytes(32))
+        tampered = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+        assert kem.decaps(dk, tampered) == kem.decaps(dk, tampered)
+
+    def test_wrong_decaps_key_gives_wrong_secret(self, keypair768):
+        ek, _ = keypair768
+        kem = MLKEM(ML_KEM_768)
+        key, ciphertext = kem.encaps(ek, bytes(32))
+        _, other_dk = kem.key_gen(b"\xaa" * 32, b"\xbb" * 32)
+        assert kem.decaps(other_dk, ciphertext) != key
+
+    def test_input_validation(self, keypair768):
+        ek, dk = keypair768
+        kem = MLKEM(ML_KEM_768)
+        with pytest.raises(ValueError):
+            kem.encaps(ek[:-1])
+        with pytest.raises(ValueError):
+            kem.encaps(ek, bytes(31))
+        with pytest.raises(ValueError):
+            kem.decaps(dk[:-1], bytes(1088))
+        with pytest.raises(ValueError):
+            kem.decaps(dk, bytes(1087))
+        with pytest.raises(ValueError):
+            kem.key_gen(bytes(31), bytes(32))
+
+    def test_unreduced_ek_rejected(self, keypair768):
+        """FIPS 203 input validation: coefficients must be < q."""
+        ek, _ = keypair768
+        coeffs = [Q] + [0] * (N - 1)       # q itself is not reduced
+        bad = mlkem.byte_encode(coeffs, 12) + ek[384:]
+        with pytest.raises(ValueError):
+            MLKEM(ML_KEM_768).encaps(bad)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=32, max_size=32),
+           st.binary(min_size=32, max_size=32))
+    def test_roundtrip_property(self, d, m):
+        kem = MLKEM(ML_KEM_768)
+        ek, dk = kem.key_gen(d, bytes(32))
+        key, ciphertext = kem.encaps(ek, m)
+        assert kem.decaps(dk, ciphertext) == key

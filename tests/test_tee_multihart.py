@@ -1,0 +1,90 @@
+"""Multi-hart TEE tests: the paper's SoC has four Rocket cores, and PMP
+is a per-core structure the SM must keep coherent."""
+
+import pytest
+
+from repro.soc import AccessFault, PrivilegeMode
+from repro.tee import build_tee
+
+
+@pytest.fixture(scope="module")
+def quad():
+    return build_tee(b"\x44" * 32, post_quantum=False, hart_count=4)
+
+
+class TestMultiHart:
+    def test_four_harts_provisioned(self, quad):
+        assert len(quad.harts) == 4
+        assert [h.hart_id for h in quad.harts] == [0, 1, 2, 3]
+
+    def test_per_core_sm_stacks(self, quad):
+        assert set(quad.sm.stacks) == {0, 1, 2, 3}
+        for stack in quad.sm.stacks.values():
+            assert stack.size_bytes == 8 * 1024   # Table III default
+
+    def test_enclave_runs_on_any_hart(self, quad):
+        enclave = quad.sm.create_enclave(b"worker")
+        for hart_id in range(4):
+            result = quad.sm.run_enclave(
+                enclave, lambda hart: hart.hart_id, hart_id=hart_id)
+            assert result == hart_id
+        quad.sm.destroy_enclave(enclave)
+
+    def test_os_on_other_hart_cannot_read_running_enclave(self, quad):
+        """The coherence property: while hart 0 executes the enclave,
+        the OS on hart 1 must still be locked out of its memory."""
+        enclave = quad.sm.create_enclave(b"secret-holder")
+        other = quad.harts[1]
+
+        def workload(hart):
+            # Mid-enclave-execution, simulate the OS on hart 1 probing.
+            other.drop_to(PrivilegeMode.SUPERVISOR)
+            try:
+                with pytest.raises(AccessFault):
+                    other.load(enclave.region.base, 4)
+            finally:
+                other.trap("probe-done")
+
+        quad.sm.run_enclave(enclave, workload, hart_id=0)
+        quad.sm.destroy_enclave(enclave)
+
+    def test_enclave_view_confined_to_executing_hart(self, quad):
+        """After the enclave exits, the executing hart's PMP is back to
+        the OS view (enclave memory blacked out again)."""
+        enclave = quad.sm.create_enclave(b"secret-holder")
+        quad.sm.run_enclave(enclave, lambda hart: None, hart_id=2)
+        hart = quad.harts[2]
+        hart.drop_to(PrivilegeMode.SUPERVISOR)
+        try:
+            with pytest.raises(AccessFault):
+                hart.load(enclave.region.base, 4)
+        finally:
+            hart.trap("probe-done")
+        quad.sm.destroy_enclave(enclave)
+
+    def test_sm_protected_on_every_hart(self, quad):
+        dram_base = quad.memory.memory_map["dram"].base
+        for hart in quad.harts:
+            hart.drop_to(PrivilegeMode.SUPERVISOR)
+            try:
+                with pytest.raises(AccessFault):
+                    hart.load(dram_base, 4)
+            finally:
+                hart.trap("probe-done")
+
+    def test_destroy_clears_all_harts(self, quad):
+        enclave = quad.sm.create_enclave(b"transient")
+        slot = quad.sm._enclave_pmp_slot(enclave)
+        quad.sm.destroy_enclave(enclave)
+        from repro.soc import AddressMode
+        for hart in quad.harts:
+            assert hart.pmp.entries[slot].mode is AddressMode.OFF
+
+    def test_single_hart_default_unchanged(self):
+        platform = build_tee()
+        assert len(platform.harts) == 1
+        assert platform.sm.stack is platform.sm.stacks[0]
+
+    def test_invalid_hart_count(self):
+        with pytest.raises(ValueError):
+            build_tee(hart_count=0)

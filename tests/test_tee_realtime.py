@@ -1,0 +1,49 @@
+"""Tests for the real-time + TEE integration (paper Section II-C).
+
+"Nesting a TEE inside a real-time system breaks the security guarantees
+of the TEE.  Conversely, nesting a real-time system inside a TEE breaks
+any real-time guarantees ... A customized solution is therefore
+required."  Each configuration must land exactly where the paper says.
+"""
+
+import pytest
+
+from repro.tee import (convolve_integration, evaluate_realtime_tee,
+                       rtos_inside_tee, tee_inside_rtos)
+
+
+class TestNaiveNestings:
+    def test_tee_inside_rtos_breaks_security(self):
+        outcome = tee_inside_rtos()
+        assert not outcome.security_preserved
+        assert outcome.deadlines_met
+        assert not outcome.viable
+
+    def test_rtos_inside_tee_breaks_deadlines(self):
+        outcome = rtos_inside_tee()
+        assert outcome.security_preserved
+        assert not outcome.deadlines_met
+        assert not outcome.viable
+
+
+class TestConvolveIntegration:
+    def test_both_properties_hold(self):
+        outcome = convolve_integration()
+        assert outcome.security_preserved
+        assert outcome.deadlines_met
+        assert outcome.viable
+
+    def test_only_the_customized_solution_is_viable(self):
+        outcomes = evaluate_realtime_tee()
+        viable = [o.name for o in outcomes if o.viable]
+        assert viable == ["CONVOLVE integration"]
+
+    def test_matrix_covers_both_failure_modes(self):
+        """The paper's argument needs both naive failures to be
+        *different* failures."""
+        outcomes = {o.name: o for o in evaluate_realtime_tee()}
+        tee_in_rtos = outcomes["TEE inside RTOS"]
+        rtos_in_tee = outcomes["RTOS inside TEE"]
+        assert tee_in_rtos.security_preserved != \
+            rtos_in_tee.security_preserved
+        assert tee_in_rtos.deadlines_met != rtos_in_tee.deadlines_met
