@@ -3,14 +3,33 @@
 Every bench regenerates one table or figure of the paper and writes the
 reproduced rows to ``benchmarks/results/<name>.txt`` so the comparison
 against the paper (EXPERIMENTS.md) is a saved artifact, not just
-transient stdout.
+transient stdout.  Since ISSUE 1 each table is additionally persisted
+as machine-readable ``results/<name>.json`` (title, header, rows), and
+a session hook aggregates per-bench wall-clock times into
+``BENCH_SUMMARY.json`` at the repo root — the perf trajectory of the
+whole suite, trackable across PRs.
+
+Run with ``REPRO_TELEMETRY=1`` to also capture a structured trace of
+every instrumented subsystem; it is exported on session exit to
+``results/trace.jsonl`` + ``results/metrics.json`` and summarized by
+``scripts/trace_report.py``.
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
+from repro.obs import TELEMETRY
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY_PATH = pathlib.Path(__file__).parent.parent / \
+    "BENCH_SUMMARY.json"
+
+#: bench module stem -> {"wall_time_s", "tests", "failures", "skips"}
+_bench_times = {}
+_session_started = None
 
 
 @pytest.fixture(scope="session")
@@ -19,9 +38,21 @@ def report_dir():
     return RESULTS_DIR
 
 
+def _json_cell(cell):
+    """Keep JSON-native cell values; stringify everything else (numpy
+    scalars, Path, ...) so artifacts never fail to serialize."""
+    if isinstance(cell, (str, int, float, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
 def write_table(report_dir, name: str, title: str, header: list,
                 rows: list) -> str:
-    """Format and persist one reproduced table; returns the text."""
+    """Format and persist one reproduced table; returns the text.
+
+    Writes the aligned ``<name>.txt`` for humans and ``<name>.json``
+    (title, header, rows) for tooling.
+    """
     widths = [max(len(str(header[i])),
                   max((len(str(row[i])) for row in rows), default=0))
               for i in range(len(header))]
@@ -34,4 +65,65 @@ def write_table(report_dir, name: str, title: str, header: list,
                                for c, w in zip(row, widths)))
     text = "\n".join(lines) + "\n"
     (report_dir / f"{name}.txt").write_text(text)
+    payload = {
+        "name": name,
+        "title": title,
+        "header": [str(h) for h in header],
+        "rows": [[_json_cell(c) for c in row] for row in rows],
+    }
+    (report_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
     return text
+
+
+# -- per-bench wall-time aggregation (BENCH_SUMMARY.json) ----------------
+
+def pytest_sessionstart(session):
+    global _session_started
+    _session_started = time.time()
+
+
+def pytest_runtest_logreport(report):
+    """Accumulate call durations per bench module."""
+    module = report.nodeid.split("::")[0]
+    stem = pathlib.Path(module).stem
+    if not stem.startswith("bench_"):
+        return
+    entry = _bench_times.setdefault(stem, {
+        "wall_time_s": 0.0, "tests": 0, "failures": 0, "skips": 0})
+    entry["wall_time_s"] += report.duration
+    if report.when == "call":
+        entry["tests"] += 1
+        if report.skipped:
+            entry["skips"] += 1
+    if report.failed:
+        entry["failures"] += 1
+
+
+def _bench_status(entry) -> str:
+    if entry["failures"]:
+        return "failed"
+    if entry["tests"] and entry["tests"] == entry["skips"]:
+        return "skipped"
+    return "passed"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _bench_times:
+        return
+    benches = [
+        {"name": stem,
+         "wall_time_s": round(entry["wall_time_s"], 6),
+         "status": _bench_status(entry),
+         "tests": entry["tests"]}
+        for stem, entry in sorted(_bench_times.items())]
+    summary = {
+        "session_wall_time_s": round(time.time() - _session_started, 6)
+        if _session_started else None,
+        "telemetry_enabled": TELEMETRY.enabled,
+        "benches": benches,
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    if TELEMETRY.enabled:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        TELEMETRY.export(RESULTS_DIR)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo health check: tier-1 tests, then the fast benches with telemetry
+# enabled, then a trace-report sanity pass over the captured trace.
+#
+#     bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo "== fast benches (telemetry enabled) =="
+REPRO_TELEMETRY=1 python -m pytest -q \
+    benchmarks/bench_fig1_cim_clustering.py \
+    benchmarks/bench_fig3_rtos_pmp.py \
+    benchmarks/bench_framework.py
+
+echo "== trace report =="
+python scripts/trace_report.py benchmarks/results/trace.jsonl \
+    --metrics benchmarks/results/metrics.json --top 15
+
+echo "== bench summary =="
+python - <<'EOF'
+import json
+summary = json.load(open("BENCH_SUMMARY.json"))
+for bench in summary["benches"]:
+    print(f"{bench['name']:40s} {bench['wall_time_s']:10.3f}s "
+          f"{bench['status']}")
+EOF
+
+echo "check.sh: OK"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Summarize a repro.obs JSONL trace from the command line.
+
+    PYTHONPATH=src python scripts/trace_report.py \
+        benchmarks/results/trace.jsonl \
+        --metrics benchmarks/results/metrics.json --sort self --top 15
+
+Prints the top spans by cumulative or self time (or call count) and,
+optionally, the metrics snapshot written next to the trace.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.obs import format_metrics, format_report, read_jsonl, \
+    summarize  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarize a repro.obs JSONL trace")
+    parser.add_argument("trace", type=pathlib.Path,
+                        help="path to a trace.jsonl file")
+    parser.add_argument("--sort", choices=("cumulative", "self",
+                                           "count"),
+                        default="cumulative",
+                        help="ranking key for the span table")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of span rows to print")
+    parser.add_argument("--metrics", type=pathlib.Path, default=None,
+                        help="optional metrics.json to print after "
+                             "the span table")
+    args = parser.parse_args(argv)
+
+    if not args.trace.exists():
+        parser.error(f"no such trace: {args.trace}")
+    records = read_jsonl(args.trace)
+    if not records:
+        print(f"{args.trace}: empty trace (was telemetry enabled?)")
+        return 1
+    summary = summarize(records)
+    print(f"{args.trace}: {len(records)} spans, "
+          f"{len(summary)} distinct names\n")
+    print(format_report(summary, sort=args.sort, top=args.top))
+    if args.metrics is not None:
+        snapshot = json.loads(args.metrics.read_text())
+        print(format_metrics(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:      # e.g. piped into ``head``
+        sys.exit(0)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import TELEMETRY
 from .adder_tree import hamming_weight
 from .kmeans import KMeans
 from .macro import (DigitalCimMacro, WEIGHT_MAX, one_hot, subset_mask)
@@ -79,6 +80,8 @@ class WeightExtractionAttack:
 
     def _measure(self, mask: list) -> float:
         self.queries_used += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("cim.queries").inc()
         return float(np.mean(self.power.trace(self.macro, mask,
                                               self.repetitions)))
 
@@ -106,13 +109,20 @@ class WeightExtractionAttack:
     def phase1_cluster(self, seed: int = 0) -> Phase1Result:
         """Activate each weight alone, cluster mean powers into 5 HW
         classes (Fig. 1)."""
+        with TELEMETRY.span("cim.phase1", weights=len(self.macro)):
+            return self._phase1_cluster(seed)
+
+    def _phase1_cluster(self, seed: int) -> Phase1Result:
         length = len(self.macro)
         means = []
-        for index in range(length):
-            mask = one_hot(length, index)
-            means.append(self._measure(mask))
-        n_clusters = min(5, len(set(np.round(means, 6))))
-        km = KMeans(n_clusters=n_clusters, seed=seed).fit(means)
+        with TELEMETRY.span("cim.phase1.trace_generation",
+                            repetitions=self.repetitions):
+            for index in range(length):
+                mask = one_hot(length, index)
+                means.append(self._measure(mask))
+        with TELEMETRY.span("cim.phase1.clustering"):
+            n_clusters = min(5, len(set(np.round(means, 6))))
+            km = KMeans(n_clusters=n_clusters, seed=seed).fit(means)
         # Order clusters by mean power: lowest power -> lowest HW.
         order = np.argsort(km.centers_[:, 0])
         # Map each cluster to an HW value using its nearest noise-free
@@ -238,6 +248,17 @@ class WeightExtractionAttack:
 
     def run(self, seed: int = 0, tolerance: float = 1e-6) -> AttackResult:
         """The full two-phase extraction."""
+        with TELEMETRY.span("cim.attack.run",
+                            weights=len(self.macro)) as span:
+            result = self._run(seed, tolerance)
+            if TELEMETRY.enabled:
+                span.set_attr("queries_used", self.queries_used)
+                span.set_attr("unresolved", len(result.unresolved))
+                TELEMETRY.gauge("cim.weights_unresolved").set(
+                    len(result.unresolved))
+            return result
+
+    def _run(self, seed: int, tolerance: float) -> AttackResult:
         phase1 = self.phase1_cluster(seed=seed)
         length = len(self.macro)
         recovered = [None] * length
@@ -247,6 +268,18 @@ class WeightExtractionAttack:
             if len(values) == 1:       # HW 0 and HW 4 pin the value
                 recovered[index] = values[0]
                 known[index] = values[0]
+        with TELEMETRY.span("cim.phase2.combination"):
+            unresolved = self._phase2_rounds(phase1, recovered, known,
+                                             tolerance)
+        return AttackResult(recovered=recovered, phase1=phase1,
+                            queries_used=self.queries_used,
+                            unresolved=unresolved)
+
+    def _phase2_rounds(self, phase1: Phase1Result, recovered: list,
+                       known: dict, tolerance: float) -> list:
+        """The combination rounds; mutates ``recovered``/``known`` and
+        returns the indices left unresolved."""
+        length = len(self.macro)
         # Resolve easy classes first so their weights serve as
         # companions for the harder ones, and keep retrying the rest in
         # rounds: every recovered weight enlarges the companion pool
@@ -312,10 +345,7 @@ class WeightExtractionAttack:
                     pending = [i for i in pending
                                if recovered[i] is None]
                     break
-        unresolved = pending
-        return AttackResult(recovered=recovered, phase1=phase1,
-                            queries_used=self.queries_used,
-                            unresolved=unresolved)
+        return pending
 
 
 def phase2_power_patterns(values: list, companion_value: int,

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import TELEMETRY
+
 #: Energy per toggled node bit, arbitrary power units.
 ENERGY_PER_TOGGLE = 1.0
 #: Static/leakage baseline per operation.
@@ -36,6 +38,9 @@ class PowerModel:
 
     def trace(self, macro, inputs: list, repetitions: int = 1) -> np.ndarray:
         """Repeated fresh-query measurements of one input mask."""
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("cim.power.traces").inc()
+            TELEMETRY.counter("cim.power.samples").inc(repetitions)
         samples = [self.measure(macro.query_fresh(inputs))
                    for _ in range(repetitions)]
         return np.asarray(samples)

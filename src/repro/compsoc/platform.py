@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import TELEMETRY
 from ..soc.bus import (FcfsArbiter, RoundRobinArbiter, SharedBus,
                        TdmArbiter, Transaction)
 from ..soc.memory import Region
@@ -117,6 +118,31 @@ class ComposablePlatform:
 
         Returns ``{application name: AppTimeline}``.
         """
+        with TELEMETRY.span("compsoc.run", policy=self.policy,
+                            veps=len(self.veps)) as span:
+            timelines, bus = self._run(max_cycles)
+            if TELEMETRY.enabled:
+                self._record_utilization(bus, span)
+            return timelines
+
+    def _record_utilization(self, bus: SharedBus, span) -> None:
+        """TDM slot utilisation: service cycles consumed / cycles
+        elapsed (per requestor and overall)."""
+        cycles = max(bus.cycle, 1)
+        busy = 0
+        for name, stats in bus.stats.items():
+            served_cycles = stats.served * self.memory_latency
+            busy += served_cycles
+            TELEMETRY.gauge(
+                f"compsoc.slot_utilization.{name}").set(
+                served_cycles / cycles)
+            TELEMETRY.counter(
+                f"compsoc.transactions.{name}").inc(stats.served)
+        TELEMETRY.gauge("compsoc.slot_utilization").set(busy / cycles)
+        span.set_attr("cycles", bus.cycle)
+        span.set_attr("utilization", busy / cycles)
+
+    def _run(self, max_cycles: int) -> tuple:
         bus = self._build_bus()
         states = []
         for vep in self.veps:
@@ -178,4 +204,4 @@ class ComposablePlatform:
             if state.done and state.timeline.finished_cycle is None:
                 state.timeline.finished_cycle = bus.cycle
             timelines[state.application.name] = state.timeline
-        return timelines
+        return timelines, bus

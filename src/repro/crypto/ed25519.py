@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import hashlib
 
+from ..obs import TELEMETRY
+
 P = 2 ** 255 - 19
 L = 2 ** 252 + 27742317777372353535851937790883648493
 D = (-121665 * pow(121666, P - 2, P)) % P
@@ -124,6 +126,13 @@ def sign(secret: bytes, message: bytes) -> bytes:
     """Produce a 64-byte deterministic Ed25519 signature."""
     if len(secret) != SECRET_KEY_LEN:
         raise ValueError("Ed25519 secret must be 32 bytes")
+    with TELEMETRY.span("crypto.ed25519.sign",
+                        message_bytes=len(message)), \
+            TELEMETRY.timer("crypto.ed25519.sign_seconds"):
+        return _sign(secret, message)
+
+
+def _sign(secret: bytes, message: bytes) -> bytes:
     digest = _sha512(secret)
     a = _clamp(digest[:32])
     prefix = digest[32:]
@@ -137,6 +146,13 @@ def sign(secret: bytes, message: bytes) -> bytes:
 
 def verify(public: bytes, message: bytes, signature: bytes) -> bool:
     """Check an Ed25519 signature; returns False on any malformation."""
+    with TELEMETRY.span("crypto.ed25519.verify",
+                        message_bytes=len(message)), \
+            TELEMETRY.timer("crypto.ed25519.verify_seconds"):
+        return _verify(public, message, signature)
+
+
+def _verify(public: bytes, message: bytes, signature: bytes) -> bool:
     if len(public) != PUBLIC_KEY_LEN or len(signature) != SIGNATURE_LEN:
         return False
     try:

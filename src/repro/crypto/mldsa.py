@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..obs import TELEMETRY
 from .keccak import Shake128, Shake256, shake256
 
 Q = 8380417
@@ -531,6 +532,14 @@ class MLDSA:
         ``_trace``, when given a dict, receives diagnostics used by the
         TEE stack-sizing experiment: ``attempts`` and ``peak_stack_bytes``.
         """
+        with TELEMETRY.span("crypto.mldsa.sign",
+                            message_bytes=len(message)), \
+                TELEMETRY.timer("crypto.mldsa.sign_seconds"):
+            return self._sign(secret, message, context, randomize,
+                              _trace)
+
+    def _sign(self, secret: bytes, message: bytes, context: bytes,
+              randomize: bool, _trace: dict) -> bytes:
         p = self.params
         rho, key, tr, s1, s2, t0 = sk_decode(secret, p)
         a_hat = expand_a(rho, p)
@@ -593,6 +602,13 @@ class MLDSA:
     def verify(self, public: bytes, message: bytes, signature: bytes,
                context: bytes = b"") -> bool:
         """Check a signature; False on any malformation or mismatch."""
+        with TELEMETRY.span("crypto.mldsa.verify",
+                            message_bytes=len(message)), \
+                TELEMETRY.timer("crypto.mldsa.verify_seconds"):
+            return self._verify(public, message, signature, context)
+
+    def _verify(self, public: bytes, message: bytes, signature: bytes,
+                context: bytes) -> bool:
         p = self.params
         try:
             rho, t1 = pk_decode(public, p)

@@ -22,6 +22,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from ..obs import TELEMETRY
 from .metrics import OptimizationGoal
 from .template import (Configuration, DesignContext, EvaluatedDesign,
                        InfeasibleConfiguration, Template,
@@ -61,6 +62,13 @@ class ExhaustiveExplorer:
         ``top_k`` > 1 additionally collects the k best designs ("a small
         set of implementations optimized towards one or more goals").
         """
+        with TELEMETRY.span("hades.exhaustive.run",
+                            template=self.template.name,
+                            goal=goal.name) as span:
+            return self._run(goal, top_k, span)
+
+    def _run(self, goal: OptimizationGoal, top_k: int,
+             span) -> ExplorationResult:
         started = time.perf_counter()
         total = self.template.count_configurations()
         feasible = 0
@@ -68,8 +76,12 @@ class ExhaustiveExplorer:
         counter = 0
         best = None
         best_score = (float("inf"),) * 3
+        obs_counter = TELEMETRY.counter("hades.evaluations") \
+            if TELEMETRY.enabled else None
         for design in enumerate_designs(self.template, self.context):
             feasible += 1
+            if obs_counter is not None:
+                obs_counter.inc()
             # Ties on the primary goal resolve by area-latency product,
             # then area — "optimized towards one or more optimization
             # goals".
@@ -90,6 +102,12 @@ class ExhaustiveExplorer:
         elapsed = time.perf_counter() - started
         top = [design for _, _, design in
                sorted(heap, key=lambda item: -item[0])]
+        if TELEMETRY.enabled:
+            span.set_attr("explored", total)
+            span.set_attr("feasible", feasible)
+            if elapsed > 0:
+                TELEMETRY.gauge("hades.evals_per_sec").set(
+                    feasible / elapsed)
         return ExplorationResult(
             template_name=self.template.name, goal=goal, best=best,
             explored=total, feasible=feasible, evaluations=feasible,
@@ -185,6 +203,8 @@ class LocalSearchExplorer:
         self.seed = seed
 
     def _evaluate(self, config: Configuration):
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("hades.evaluations").inc()
         try:
             return self.template.evaluate(config, self.context)
         except InfeasibleConfiguration:
@@ -233,28 +253,40 @@ class LocalSearchExplorer:
         """Run ``starts`` random performance baselines (paper: "we obtain
         perfect results for Kyber-CCA for as few as 50 random
         performance base-lines")."""
-        started = time.perf_counter()
-        rng = random.Random(self.seed)
-        best = None
-        best_score = float("inf")
-        total_evaluations = 0
-        feasible = 0
-        for _ in range(starts):
-            start = self.template.random_configuration(rng)
-            config, metrics, evaluations = self._descend(start, goal)
-            total_evaluations += evaluations
-            if config is None:
-                continue
-            feasible += 1
-            score = goal.score(metrics)
-            if score < best_score:
-                best = EvaluatedDesign(config, metrics)
-                best_score = score
-        if best is None:
-            raise InfeasibleConfiguration(
-                f"no feasible local optimum found for {self.template.name}")
-        elapsed = time.perf_counter() - started
-        return ExplorationResult(
-            template_name=self.template.name, goal=goal, best=best,
-            explored=total_evaluations, feasible=feasible,
-            evaluations=total_evaluations, elapsed_seconds=elapsed)
+        with TELEMETRY.span("hades.local_search.run",
+                            template=self.template.name,
+                            goal=goal.name, starts=starts) as span:
+            started = time.perf_counter()
+            rng = random.Random(self.seed)
+            best = None
+            best_score = float("inf")
+            total_evaluations = 0
+            feasible = 0
+            for start_index in range(starts):
+                start = self.template.random_configuration(rng)
+                with TELEMETRY.span("hades.local_search.descent",
+                                    start=start_index):
+                    config, metrics, evaluations = self._descend(start,
+                                                                 goal)
+                total_evaluations += evaluations
+                if config is None:
+                    continue
+                feasible += 1
+                score = goal.score(metrics)
+                if score < best_score:
+                    best = EvaluatedDesign(config, metrics)
+                    best_score = score
+            if best is None:
+                raise InfeasibleConfiguration(
+                    f"no feasible local optimum found for "
+                    f"{self.template.name}")
+            elapsed = time.perf_counter() - started
+            if TELEMETRY.enabled:
+                span.set_attr("evaluations", total_evaluations)
+                if elapsed > 0:
+                    TELEMETRY.gauge("hades.evals_per_sec").set(
+                        total_evaluations / elapsed)
+            return ExplorationResult(
+                template_name=self.template.name, goal=goal, best=best,
+                explored=total_evaluations, feasible=feasible,
+                evaluations=total_evaluations, elapsed_seconds=elapsed)

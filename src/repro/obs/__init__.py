@@ -1,0 +1,43 @@
+"""Cross-subsystem observability: tracing, metrics, benchmark artifacts.
+
+Zero-dependency instrumentation layer (ISSUE 1) shared by every
+subsystem of the reproduction:
+
+* :mod:`~repro.obs.tracer` — structured nested spans with JSONL export,
+* :mod:`~repro.obs.metrics` — counters, gauges, histograms (p50/95/99),
+* :mod:`~repro.obs.telemetry` — the global :data:`TELEMETRY` facade
+  with an explicit no-op mode (disabled = one attribute check),
+* :mod:`~repro.obs.export` — JSONL read/write round-trip,
+* :mod:`~repro.obs.report` — per-span aggregation (cumulative/self
+  time) behind ``scripts/trace_report.py``,
+* :mod:`~repro.obs.logging_bridge` — opt-in mirror of trace events to
+  stdlib ``logging`` at DEBUG.
+
+Quick use::
+
+    from repro.obs import TELEMETRY
+
+    TELEMETRY.enable()
+    with TELEMETRY.span("my.phase", size=42):
+        TELEMETRY.counter("my.items").inc()
+    TELEMETRY.export("out/")        # out/trace.jsonl + out/metrics.json
+
+Telemetry is **off by default**; enable it per process with
+``REPRO_TELEMETRY=1`` or per call site with :func:`enable`.
+"""
+
+from .export import read_jsonl, read_spans, write_jsonl
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      percentile)
+from .report import format_metrics, format_report, summarize
+from .telemetry import (TELEMETRY, Telemetry, disable, enable,
+                        get_telemetry)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "TELEMETRY", "Telemetry", "enable", "disable", "get_telemetry",
+    "Span", "Tracer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile",
+    "read_jsonl", "read_spans", "write_jsonl",
+    "summarize", "format_report", "format_metrics",
+]

@@ -1,0 +1,48 @@
+"""JSONL trace persistence: write, read, round-trip.
+
+One JSON object per line, keys as produced by
+:meth:`repro.obs.tracer.Span.to_record`.  Non-JSON-native values inside
+``attrs`` (numpy scalars, enums, ...) are stringified rather than
+rejected, so instrumentation never crashes the instrumented code.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .tracer import Span
+
+
+def _default(value):
+    """Last-resort JSON encoding: stringify anything exotic."""
+    return str(value)
+
+
+def write_jsonl(records: list, path) -> pathlib.Path:
+    """Persist record dicts (or :class:`Span` objects) as JSONL."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as stream:
+        for record in records:
+            if isinstance(record, Span):
+                record = record.to_record()
+            stream.write(json.dumps(record, default=_default) + "\n")
+    return path
+
+
+def read_jsonl(path) -> list:
+    """Load a JSONL trace back into record dicts (blank lines skipped)."""
+    path = pathlib.Path(path)
+    records = []
+    with path.open() as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def read_spans(path) -> list:
+    """Load a JSONL trace back into :class:`Span` objects."""
+    return [Span.from_record(record) for record in read_jsonl(path)]

@@ -1,0 +1,68 @@
+"""Opt-in bridge mirroring finished spans to stdlib :mod:`logging`.
+
+The observability layer deliberately has zero dependencies and never
+logs on its own; users who want a live textual feed install this bridge
+and get one DEBUG record per finished span on the ``repro.obs`` logger
+— standard handlers/levels/filters apply, no new dependency.
+
+    import logging
+    from repro.obs import TELEMETRY, logging_bridge
+
+    logging.basicConfig(level=logging.DEBUG)
+    bridge = logging_bridge.install()
+    ...instrumented work...
+    logging_bridge.uninstall(bridge)
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .telemetry import TELEMETRY, Telemetry
+
+DEFAULT_LOGGER = "repro.obs"
+
+
+class LoggingBridge:
+    """A removable tracer listener writing spans to a logger."""
+
+    def __init__(self, telemetry: Telemetry, logger: logging.Logger,
+                 level: int):
+        self.telemetry = telemetry
+        self.logger = logger
+        self.level = level
+        self._installed = False
+
+    def __call__(self, span) -> None:
+        if not self.logger.isEnabledFor(self.level):
+            return
+        self.logger.log(
+            self.level, "span %s depth=%d %.6fs status=%s%s",
+            span.name, span.depth, span.duration_s, span.status,
+            f" attrs={span.attrs}" if span.attrs else "")
+
+    def install(self) -> "LoggingBridge":
+        if not self._installed:
+            self.telemetry.tracer.add_listener(self)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.telemetry.tracer.remove_listener(self)
+            self._installed = False
+
+
+def install(telemetry: Telemetry = None, logger=None,
+            level: int = logging.DEBUG) -> LoggingBridge:
+    """Attach a bridge to ``telemetry`` (global facade by default)."""
+    telemetry = telemetry or TELEMETRY
+    if logger is None:
+        logger = logging.getLogger(DEFAULT_LOGGER)
+    elif isinstance(logger, str):
+        logger = logging.getLogger(logger)
+    return LoggingBridge(telemetry, logger, level).install()
+
+
+def uninstall(bridge: LoggingBridge) -> None:
+    bridge.uninstall()

@@ -1,0 +1,154 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+All instruments are thread-safe (a lock per instrument; contention at
+this scale is irrelevant next to the cost of the instrumented work).
+Histograms keep their raw samples — the spaces measured here are a few
+thousand observations at most, so exact percentiles beat a streaming
+sketch in both fidelity and code size.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value (utilisation, rates, sizes)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+def percentile(sorted_samples: list, fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, int(len(sorted_samples) * fraction + 0.5))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+class Histogram:
+    """Stored-sample distribution with p50/p95/p99 summary."""
+
+    __slots__ = ("name", "_samples", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> list:
+        with self._lock:
+            return list(self._samples)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return {"type": "histogram", "count": 0}
+        total = sum(ordered)
+        return {
+            "type": "histogram",
+            "count": len(ordered),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(ordered),
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument, get-or-create, one namespace per telemetry."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def _get(self, name: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory(name)
+            elif not isinstance(instrument, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """``{name: instrument snapshot}`` for every registered metric."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].snapshot()
+                for name in sorted(instruments)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments = {}

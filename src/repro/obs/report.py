@@ -1,0 +1,88 @@
+"""Trace summarisation: per-span-name aggregates from JSONL records.
+
+*Cumulative* time is the wall-clock a span covers including children;
+*self* time subtracts the direct children, i.e. where the time is
+actually spent — the quantity that ranks hot paths.  This is the
+library behind ``scripts/trace_report.py``.
+"""
+
+from __future__ import annotations
+
+
+def summarize(records: list) -> dict:
+    """Aggregate trace records into ``{span name: stats dict}``.
+
+    Stats per name: ``count``, ``total_s`` (cumulative), ``self_s``,
+    ``min_s``, ``max_s``, ``mean_s``, ``errors``.
+    """
+    child_time = {}
+    for record in records:
+        parent = record.get("parent_id", 0)
+        if parent:
+            child_time[parent] = child_time.get(parent, 0.0) + \
+                record["duration_s"]
+    summary = {}
+    for record in records:
+        stats = summary.setdefault(record["name"], {
+            "count": 0, "total_s": 0.0, "self_s": 0.0,
+            "min_s": float("inf"), "max_s": 0.0, "errors": 0})
+        duration = record["duration_s"]
+        stats["count"] += 1
+        stats["total_s"] += duration
+        stats["self_s"] += duration - child_time.get(
+            record["span_id"], 0.0)
+        stats["min_s"] = min(stats["min_s"], duration)
+        stats["max_s"] = max(stats["max_s"], duration)
+        if record.get("status") == "error":
+            stats["errors"] += 1
+    for stats in summary.values():
+        stats["mean_s"] = stats["total_s"] / stats["count"]
+        if stats["min_s"] == float("inf"):
+            stats["min_s"] = 0.0
+    return summary
+
+
+_SORT_KEYS = {
+    "cumulative": lambda item: -item[1]["total_s"],
+    "self": lambda item: -item[1]["self_s"],
+    "count": lambda item: -item[1]["count"],
+}
+
+
+def format_report(summary: dict, sort: str = "cumulative",
+                  top: int = 20) -> str:
+    """Render a summary as an aligned text table, top-N by ``sort``."""
+    if sort not in _SORT_KEYS:
+        raise ValueError(f"sort must be one of {sorted(_SORT_KEYS)}")
+    ordered = sorted(summary.items(), key=_SORT_KEYS[sort])[:top]
+    header = ["span", "count", "total s", "self s", "mean s", "max s"]
+    rows = [[name, str(stats["count"]), f"{stats['total_s']:.6f}",
+             f"{stats['self_s']:.6f}", f"{stats['mean_s']:.6f}",
+             f"{stats['max_s']:.6f}"]
+            for name, stats in ordered]
+    widths = [max(len(header[i]), max((len(r[i]) for r in rows),
+                                      default=0))
+              for i in range(len(header))]
+    lines = [f"top {len(rows)} spans by {sort} time", ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a metrics snapshot (one line per instrument)."""
+    lines = ["metrics", ""]
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type", "?")
+        if kind == "histogram" and entry.get("count"):
+            lines.append(
+                f"{name}  [{kind}]  count={entry['count']} "
+                f"mean={entry['mean']:.6g} p50={entry['p50']:.6g} "
+                f"p95={entry['p95']:.6g} p99={entry['p99']:.6g}")
+        else:
+            lines.append(f"{name}  [{kind}]  "
+                         f"value={entry.get('value', 0)}")
+    return "\n".join(lines) + "\n"

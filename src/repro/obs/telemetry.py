@@ -1,0 +1,195 @@
+"""The global, thread-safe telemetry facade.
+
+Design rule (ISSUE 1): *disabled instrumentation costs one attribute
+check*.  Every instrumented call site is either written as
+
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("sub.thing").inc()
+
+or goes through a facade method (``span``/``timer``/``counter``/...)
+whose first action is that same check, after which a shared, stateless
+no-op object is returned.  Nothing allocates and nothing locks on the
+disabled path.
+
+Enable programmatically (:func:`enable`) or by exporting
+``REPRO_TELEMETRY=1`` before the interpreter starts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from functools import wraps
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Span, Tracer
+
+
+class _NullSpan:
+    """Stateless stand-in for Span/timer context managers; shared."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_attr(self, key, value):
+        pass
+
+
+class _NullInstrument:
+    """Stateless stand-in for Counter/Gauge/Histogram; shared."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def add(self, delta):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _Timer:
+    """Context manager feeding one duration into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock):
+        self._histogram = histogram
+        self._clock = clock
+
+    def __enter__(self):
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._histogram.observe(self._clock() - self._start)
+        return False
+
+
+class Telemetry:
+    """One tracer + one metrics registry behind an on/off switch."""
+
+    def __init__(self, enabled: bool = False,
+                 clock=time.perf_counter):
+        self.enabled = bool(enabled)
+        self._clock = clock
+        self.tracer = Tracer(clock=clock)
+        self.metrics = MetricsRegistry()
+
+    # -- switch ------------------------------------------------------------
+
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop all collected spans and metrics; keep the switch state."""
+        self.tracer.clear()
+        self.metrics.clear()
+
+    # -- instruments -------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Context manager tracing a named region (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def timer(self, name: str):
+        """Context manager recording its duration into histogram ``name``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Timer(self.metrics.histogram(name), self._clock)
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.histogram(name)
+
+    def traced(self, name: str = None, **attrs):
+        """Decorator tracing every call of the wrapped function."""
+        def decorate(function):
+            span_name = name or function.__qualname__
+
+            @wraps(function)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return function(*args, **kwargs)
+                with self.tracer.span(span_name, **attrs):
+                    return function(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    # -- export ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def export(self, directory, trace_name: str = "trace.jsonl",
+               metrics_name: str = "metrics.json") -> dict:
+        """Write the JSONL trace and a metrics snapshot under
+        ``directory``; returns ``{"trace": path, "metrics": path}``."""
+        from .export import write_jsonl
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        trace_path = directory / trace_name
+        metrics_path = directory / metrics_name
+        write_jsonl(self.tracer.snapshot(), trace_path)
+        metrics_path.write_text(
+            json.dumps(self.metrics_snapshot(), indent=2, sort_keys=True)
+            + "\n")
+        return {"trace": trace_path, "metrics": metrics_path}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0", "off",
+                                                         "false")
+
+
+#: The process-global facade every instrumented subsystem imports.
+TELEMETRY = Telemetry(enabled=_env_enabled())
+
+
+def get_telemetry() -> Telemetry:
+    return TELEMETRY
+
+
+def enable() -> Telemetry:
+    """Turn global telemetry on; returns the facade for chaining."""
+    return TELEMETRY.enable()
+
+
+def disable() -> Telemetry:
+    return TELEMETRY.disable()

@@ -1,0 +1,165 @@
+"""Structured span tracer: nested, thread-aware, JSONL-exportable.
+
+A *span* is one named, timed region of execution.  Spans nest: the
+tracer keeps a per-thread stack, so a span opened while another is
+active records the outer span as its parent.  Finished spans accumulate
+in an in-memory buffer (this is a laptop-scale reproduction, not a
+distributed collector) and can be exported as one-JSON-object-per-line
+records that :mod:`repro.obs.report` and ``scripts/trace_report.py``
+consume.
+
+The tracer takes an injectable ``clock`` so tests can assert exact
+durations; production use keeps :func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed region.  Mutable while open, frozen facts once ended."""
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "thread_id",
+                 "start_s", "end_s", "attrs", "status")
+
+    def __init__(self, name: str, span_id: int, parent_id: int,
+                 depth: int, thread_id: int, start_s: float,
+                 attrs: dict):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.thread_id = thread_id
+        self.start_s = start_s
+        self.end_s = None
+        self.attrs = attrs
+        self.status = "ok"
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def to_record(self) -> dict:
+        """The JSONL wire format (plain JSON types only)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "thread_id": self.thread_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Span":
+        span = cls(record["name"], record["span_id"],
+                   record["parent_id"], record["depth"],
+                   record["thread_id"], record["start_s"],
+                   dict(record.get("attrs", {})))
+        span.end_s = record["end_s"]
+        span.status = record.get("status", "ok")
+        return span
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, {self.duration_s:.6f}s)")
+
+
+class Tracer:
+    """Collects spans; thread-safe; one instance per telemetry facade."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._listeners = []
+        self.finished = []
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Span:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, **attrs) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name=name, span_id=next(self._ids),
+                    parent_id=parent.span_id if parent else 0,
+                    depth=len(stack),
+                    thread_id=threading.get_ident(),
+                    start_s=self._clock(), attrs=attrs)
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok") -> Span:
+        span.end_s = self._clock()
+        span.status = status
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:           # out-of-order end: unwind to it
+            while stack and stack.pop() is not span:
+                pass
+        with self._lock:
+            self.finished.append(span)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = self.start_span(name, **attrs)
+        try:
+            yield span
+        except BaseException:
+            self.end_span(span, status="error")
+            raise
+        else:
+            self.end_span(span)
+
+    # -- listeners (the logging bridge hook) ------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(span)`` called at every span end."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- access / export --------------------------------------------------
+
+    def snapshot(self) -> list:
+        """Finished spans as JSONL-ready records."""
+        with self._lock:
+            return [span.to_record() for span in self.finished]
+
+    def clear(self) -> None:
+        """Drop collected spans (listeners are kept)."""
+        with self._lock:
+            self.finished = []

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import TELEMETRY
 from ..soc.cpu import Hart
 from ..soc.memory import AccessFault, PhysicalMemory, Region
 from .ipc import MessageQueue, Mutex
@@ -249,11 +250,22 @@ class Kernel:
 
     def run(self, max_ticks: int = 1000) -> KernelStats:
         """Run the scheduler for ``max_ticks`` or until all tasks end."""
+        with TELEMETRY.span("rtos.kernel.run", max_ticks=max_ticks,
+                            protected=self.protected) as span:
+            stats = self._run_loop(max_ticks)
+            if TELEMETRY.enabled:
+                span.set_attr("ticks", stats.ticks)
+                span.set_attr("faults", stats.faults)
+            return stats
+
+    def _run_loop(self, max_ticks: int) -> KernelStats:
         end_tick = self.tick + max_ticks
         while self.tick < end_tick:
             self._wake_delayed()
             self._check_deadlines()
             task = self._pick()
+            if TELEMETRY.enabled:
+                TELEMETRY.counter("rtos.scheduler_decisions").inc()
             if task is None:
                 live = any(t.state in (TaskState.BLOCKED,
                                        TaskState.DELAYED,
@@ -266,6 +278,8 @@ class Kernel:
                 continue
             if task is not self._running:
                 self.stats.context_switches += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.counter("rtos.context_switches").inc()
                 self.mpu.install(task)
                 self._running = task
             task.state = TaskState.RUNNING
@@ -283,6 +297,8 @@ class Kernel:
                 task.state = TaskState.FAULTED
                 task.fault = fault
                 self.stats.faults += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.counter("rtos.pmp_faults").inc()
                 self._log("access-fault", task, str(fault))
                 self._running = None
                 call = None
@@ -290,6 +306,8 @@ class Kernel:
                 task.state = TaskState.FAULTED
                 task.fault = fault
                 self.stats.faults += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.counter("rtos.stack_overflows").inc()
                 self._log("stack-overflow", task, str(fault))
                 self._running = None
                 call = None

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import TELEMETRY
 from ..crypto import ed25519
 from ..crypto.keccak import sha3_512, shake256
 from ..crypto.kdf import derive_seed_pair
@@ -113,37 +114,49 @@ class BootRom:
         SM signing seeds are derived from the device secret *and* the
         measurement, so a tampered SM gets unrelated keys.
         """
-        measurement = self.measure(sm_binary)
-        classical_sig = self.device.sign_classical(
-            b"keystone-boot-v1" + measurement)
-        pq_sig = b""
-        regenerated = 0
-        device_pq_secret = None
-        if self.device.post_quantum:
-            # Regenerate the ML-DSA key pair from the stored 32-byte
-            # seed — the bootrom-size mitigation from the paper.
-            scheme = MLDSA(self.device.mldsa_params)
-            _, device_pq_secret = scheme.key_gen(self.device.mldsa_seed)
-            regenerated = len(device_pq_secret)
-            pq_sig = scheme.sign(device_pq_secret,
-                                 b"keystone-boot-v1" + measurement)
-        # Derive the SM's attestation seeds from the device secret and
-        # the measurement, then certify the derived public keys.
-        sm_secret = self.device.derive_sm_secret(measurement)
-        sm_ed_seed, sm_mldsa_seed = derive_seed_pair(sm_secret, "sm-keys")
-        sm_ed_public = ed25519.public_key(sm_ed_seed)
-        sm_mldsa_public = b""
-        if self.device.post_quantum:
-            scheme = MLDSA(self.device.mldsa_params)
-            sm_mldsa_public, _ = scheme.key_gen(sm_mldsa_seed)
-        cert_payload = sm_certificate_payload(measurement, sm_ed_public,
-                                              sm_mldsa_public)
-        cert_classical = self.device.sign_classical(cert_payload)
-        cert_pq = b""
-        if self.device.post_quantum:
-            cert_pq = MLDSA(self.device.mldsa_params).sign(
-                device_pq_secret, cert_payload)
-        return BootReport(
+        with TELEMETRY.span("tee.boot",
+                            post_quantum=self.device.post_quantum):
+            with TELEMETRY.span("tee.boot.measure",
+                                sm_bytes=len(sm_binary)):
+                measurement = self.measure(sm_binary)
+            with TELEMETRY.span("tee.boot.sign", scheme="ed25519"):
+                classical_sig = self.device.sign_classical(
+                    b"keystone-boot-v1" + measurement)
+            pq_sig = b""
+            regenerated = 0
+            device_pq_secret = None
+            if self.device.post_quantum:
+                # Regenerate the ML-DSA key pair from the stored 32-byte
+                # seed — the bootrom-size mitigation from the paper.
+                with TELEMETRY.span("tee.boot.regenerate_pq_key"):
+                    scheme = MLDSA(self.device.mldsa_params)
+                    _, device_pq_secret = scheme.key_gen(
+                        self.device.mldsa_seed)
+                regenerated = len(device_pq_secret)
+                with TELEMETRY.span("tee.boot.sign", scheme="mldsa"):
+                    pq_sig = scheme.sign(
+                        device_pq_secret,
+                        b"keystone-boot-v1" + measurement)
+            # Derive the SM's attestation seeds from the device secret
+            # and the measurement, then certify the derived public keys.
+            with TELEMETRY.span("tee.boot.derive_sm_keys"):
+                sm_secret = self.device.derive_sm_secret(measurement)
+                sm_ed_seed, sm_mldsa_seed = derive_seed_pair(sm_secret,
+                                                             "sm-keys")
+                sm_ed_public = ed25519.public_key(sm_ed_seed)
+                sm_mldsa_public = b""
+                if self.device.post_quantum:
+                    scheme = MLDSA(self.device.mldsa_params)
+                    sm_mldsa_public, _ = scheme.key_gen(sm_mldsa_seed)
+            with TELEMETRY.span("tee.boot.certify"):
+                cert_payload = sm_certificate_payload(
+                    measurement, sm_ed_public, sm_mldsa_public)
+                cert_classical = self.device.sign_classical(cert_payload)
+                cert_pq = b""
+                if self.device.post_quantum:
+                    cert_pq = MLDSA(self.device.mldsa_params).sign(
+                        device_pq_secret, cert_payload)
+            return BootReport(
             sm_measurement=measurement,
             classical_boot_signature=classical_sig,
             pq_boot_signature=pq_sig,
@@ -160,6 +173,11 @@ class BootRom:
     def verify_boot(self, sm_binary: bytes, report: BootReport) -> bool:
         """Verifier-side check of the boot signatures (both must hold in
         the PQ configuration — the hybrid rule)."""
+        with TELEMETRY.span("tee.boot.verify",
+                            post_quantum=self.device.post_quantum):
+            return self._verify_boot(sm_binary, report)
+
+    def _verify_boot(self, sm_binary: bytes, report: BootReport) -> bool:
         measurement = self.measure(sm_binary)
         if measurement != report.sm_measurement:
             return False

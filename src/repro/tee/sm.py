@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..crypto import ed25519
 from ..crypto.mldsa import ML_DSA_44, MLDSA, MLDSAParams
+from ..obs import TELEMETRY
 from ..soc.cpu import Hart, StackModel
 from ..soc.memory import PhysicalMemory, Region
 from ..soc.pmp import PmpEntry, PrivilegeMode
@@ -229,6 +230,13 @@ class SecurityMonitor:
     def attest_enclave(self, enclave: Enclave,
                        report_data: bytes = b"") -> AttestationReport:
         """Produce the (default or PQ) attestation report for an enclave."""
+        with TELEMETRY.span("tee.attest",
+                            enclave=enclave.enclave_id,
+                            post_quantum=self.config.post_quantum):
+            return self._attest_enclave(enclave, report_data)
+
+    def _attest_enclave(self, enclave: Enclave,
+                        report_data: bytes) -> AttestationReport:
         self._require_live(enclave)
         report = AttestationReport(
             enclave_hash=enclave.measurement,
@@ -242,16 +250,21 @@ class SecurityMonitor:
             report.sm_mldsa_public = self.boot_report.sm_mldsa_public
             report.sm_pq_signature = self.boot_report.sm_cert_pq
         payload = report.enclave_payload()
-        report.enclave_signature = self._sign_with_stack(
-            lambda m: ed25519.sign(self.boot_report.sm_ed25519_seed, m),
-            ED25519_SIGNING_STACK, payload)
+        with TELEMETRY.span("tee.attest.sign", scheme="ed25519"), \
+                TELEMETRY.timer("tee.attest.sign_seconds"):
+            report.enclave_signature = self._sign_with_stack(
+                lambda m: ed25519.sign(self.boot_report.sm_ed25519_seed,
+                                       m),
+                ED25519_SIGNING_STACK, payload)
         if self.config.post_quantum:
             if self._sm_mldsa_secret is None:
                 _, self._sm_mldsa_secret = self._mldsa.key_gen(
                     self.boot_report.sm_mldsa_seed)
-            report.enclave_pq_signature = self._sign_with_stack(
-                lambda m: self._mldsa.sign(self._sm_mldsa_secret, m),
-                self._mldsa.signing_stack_bytes, payload)
+            with TELEMETRY.span("tee.attest.sign", scheme="mldsa"), \
+                    TELEMETRY.timer("tee.attest.sign_seconds"):
+                report.enclave_pq_signature = self._sign_with_stack(
+                    lambda m: self._mldsa.sign(self._sm_mldsa_secret, m),
+                    self._mldsa.signing_stack_bytes, payload)
         return report
 
     # -- sealing ----------------------------------------------------------

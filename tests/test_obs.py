@@ -1,0 +1,326 @@
+"""Unit tests for the observability primitives (ISSUE 1 tentpole)."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (Telemetry, Tracer, MetricsRegistry, percentile,
+                       read_jsonl, read_spans, summarize, write_jsonl,
+                       format_report, format_metrics)
+from repro.obs import logging_bridge
+from repro.obs.telemetry import _NULL_INSTRUMENT, _NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry(enabled=True)
+
+
+# -- spans ---------------------------------------------------------------
+
+
+def test_span_nesting_parent_and_depth(telemetry):
+    with telemetry.span("outer") as outer:
+        with telemetry.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.depth == 1
+        assert outer.depth == 0
+    records = telemetry.tracer.snapshot()
+    assert [r["name"] for r in records] == ["inner", "outer"]
+
+
+def test_span_timing_with_fake_clock():
+    tracer = Tracer(clock=FakeClock(step=1.0))
+    with tracer.span("a"):        # start at t=0, end at t=3
+        with tracer.span("b"):    # start at t=1, end at t=2
+            pass
+    by_name = {s.name: s for s in tracer.finished}
+    assert by_name["b"].duration_s == 1.0
+    assert by_name["a"].duration_s == 3.0
+    assert by_name["a"].duration_s >= by_name["b"].duration_s
+
+
+def test_span_error_status(telemetry):
+    with pytest.raises(ValueError):
+        with telemetry.span("boom"):
+            raise ValueError("x")
+    (record,) = telemetry.tracer.snapshot()
+    assert record["status"] == "error"
+    # The stack unwound: a next span is a root again.
+    with telemetry.span("after") as span:
+        assert span.parent_id == 0
+
+
+def test_span_attrs_and_set_attr(telemetry):
+    with telemetry.span("s", template="aes") as span:
+        span.set_attr("explored", 1440)
+    (record,) = telemetry.tracer.snapshot()
+    assert record["attrs"] == {"template": "aes", "explored": 1440}
+
+
+def test_spans_in_threads_are_independent_roots(telemetry):
+    def work():
+        with telemetry.span("worker"):
+            pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    with telemetry.span("main"):
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    workers = [r for r in telemetry.tracer.snapshot()
+               if r["name"] == "worker"]
+    assert len(workers) == 4
+    # Worker spans run on other threads: no parent, despite "main"
+    # being open on the main thread.
+    assert all(r["parent_id"] == 0 for r in workers)
+
+
+# -- metrics -------------------------------------------------------------
+
+
+def test_counter_gauge_basics(telemetry):
+    telemetry.counter("c").inc()
+    telemetry.counter("c").inc(4)
+    telemetry.gauge("g").set(2.5)
+    telemetry.gauge("g").add(0.5)
+    snap = telemetry.metrics_snapshot()
+    assert snap["c"] == {"type": "counter", "value": 5}
+    assert snap["g"] == {"type": "gauge", "value": 3.0}
+
+
+def test_counter_rejects_negative(telemetry):
+    with pytest.raises(ValueError):
+        telemetry.counter("c").inc(-1)
+
+
+def test_histogram_percentiles(telemetry):
+    histogram = telemetry.histogram("h")
+    for value in range(1, 101):       # 1..100
+        histogram.observe(value)
+    snap = telemetry.metrics_snapshot()["h"]
+    assert snap["count"] == 100
+    assert snap["min"] == 1 and snap["max"] == 100
+    assert snap["mean"] == pytest.approx(50.5)
+    assert snap["p50"] == 50
+    assert snap["p95"] == 95
+    assert snap["p99"] == 99
+
+
+def test_percentile_nearest_rank_edges():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([1.0, 2.0], 0.5) == 1.0
+
+
+def test_registry_type_conflict():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_timer_feeds_histogram():
+    telemetry = Telemetry(enabled=True, clock=FakeClock(step=2.0))
+    with telemetry.timer("t"):
+        pass
+    snap = telemetry.metrics_snapshot()["t"]
+    assert snap["count"] == 1
+    assert snap["p50"] == 2.0
+
+
+# -- thread safety -------------------------------------------------------
+
+
+def test_concurrent_counter_increments(telemetry):
+    counter = telemetry.counter("hits")
+    threads_n, per_thread = 8, 5000
+
+    def work():
+        for _ in range(per_thread):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == threads_n * per_thread
+
+
+def test_concurrent_histogram_observes(telemetry):
+    histogram = telemetry.histogram("h")
+
+    def work():
+        for value in range(1000):
+            histogram.observe(value)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert histogram.count == 4000
+
+
+# -- no-op mode ----------------------------------------------------------
+
+
+def test_disabled_telemetry_produces_zero_events():
+    telemetry = Telemetry(enabled=False)
+    with telemetry.span("s", a=1) as span:
+        span.set_attr("b", 2)         # must be accepted and dropped
+        telemetry.counter("c").inc()
+        telemetry.gauge("g").set(1)
+        telemetry.histogram("h").observe(1)
+        with telemetry.timer("t"):
+            pass
+    assert telemetry.tracer.snapshot() == []
+    assert telemetry.metrics_snapshot() == {}
+
+
+def test_disabled_returns_shared_null_objects():
+    telemetry = Telemetry(enabled=False)
+    assert telemetry.span("a") is _NULL_SPAN
+    assert telemetry.counter("a") is _NULL_INSTRUMENT
+    assert telemetry.gauge("a") is _NULL_INSTRUMENT
+    assert telemetry.histogram("a") is _NULL_INSTRUMENT
+
+
+def test_traced_decorator(telemetry):
+    @telemetry.traced("wrapped.call")
+    def add(a, b):
+        return a + b
+
+    assert add(1, 2) == 3
+    (record,) = telemetry.tracer.snapshot()
+    assert record["name"] == "wrapped.call"
+    telemetry.disable()
+    assert add(2, 3) == 5
+    assert len(telemetry.tracer.snapshot()) == 1
+
+
+def test_reset_clears_spans_and_metrics(telemetry):
+    with telemetry.span("s"):
+        telemetry.counter("c").inc()
+    telemetry.reset()
+    assert telemetry.tracer.snapshot() == []
+    assert telemetry.metrics_snapshot() == {}
+    assert telemetry.enabled
+
+
+# -- JSONL export round-trip ---------------------------------------------
+
+
+def test_jsonl_round_trip(telemetry, tmp_path):
+    with telemetry.span("outer", template="aes"):
+        with telemetry.span("inner"):
+            pass
+    path = write_jsonl(telemetry.tracer.snapshot(),
+                       tmp_path / "trace.jsonl")
+    records = read_jsonl(path)
+    assert records == telemetry.tracer.snapshot()
+    spans = read_spans(path)
+    assert [s.name for s in spans] == ["inner", "outer"]
+    assert spans[0].duration_s == records[0]["duration_s"]
+
+
+def test_export_writes_trace_and_metrics(telemetry, tmp_path):
+    with telemetry.span("s"):
+        telemetry.counter("c").inc(2)
+    paths = telemetry.export(tmp_path)
+    assert paths["trace"].exists() and paths["metrics"].exists()
+    metrics = json.loads(paths["metrics"].read_text())
+    assert metrics["c"]["value"] == 2
+
+
+def test_jsonl_stringifies_exotic_attrs(telemetry, tmp_path):
+    class Odd:
+        def __repr__(self):
+            return "odd!"
+
+    with telemetry.span("s", odd=Odd()):
+        pass
+    path = write_jsonl(telemetry.tracer.snapshot(),
+                       tmp_path / "t.jsonl")
+    (record,) = read_jsonl(path)
+    assert record["attrs"]["odd"] == "odd!"
+
+
+# -- report --------------------------------------------------------------
+
+
+def test_summarize_self_vs_cumulative_time():
+    tracer = Tracer(clock=FakeClock(step=1.0))
+    with tracer.span("parent"):       # 0..5: cumulative 5
+        with tracer.span("child"):    # 1..2
+            pass
+        with tracer.span("child"):    # 3..4
+            pass
+    summary = summarize([s.to_record() for s in tracer.finished])
+    assert summary["parent"]["total_s"] == 5.0
+    assert summary["parent"]["self_s"] == 3.0      # 5 - two 1s children
+    assert summary["child"]["count"] == 2
+    assert summary["child"]["total_s"] == 2.0
+    assert summary["child"]["self_s"] == 2.0
+
+
+def test_format_report_and_metrics_render(telemetry):
+    with telemetry.span("alpha"):
+        telemetry.counter("c").inc()
+        telemetry.histogram("h").observe(1.0)
+    text = format_report(summarize(telemetry.tracer.snapshot()),
+                         sort="count", top=5)
+    assert "alpha" in text and "count" in text
+    metrics_text = format_metrics(telemetry.metrics_snapshot())
+    assert "c" in metrics_text and "histogram" in metrics_text
+    with pytest.raises(ValueError):
+        format_report({}, sort="nope")
+
+
+# -- logging bridge ------------------------------------------------------
+
+
+def test_logging_bridge_mirrors_spans(telemetry, caplog):
+    bridge = logging_bridge.install(telemetry)
+    try:
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            with telemetry.span("bridged", k=1):
+                pass
+    finally:
+        logging_bridge.uninstall(bridge)
+    messages = [r.getMessage() for r in caplog.records]
+    assert any("bridged" in m and "k" in m for m in messages)
+    # After uninstall: no further records.
+    caplog.clear()
+    with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+        with telemetry.span("silent"):
+            pass
+    assert not caplog.records
+
+
+def test_logging_bridge_quiet_below_level(telemetry, caplog):
+    bridge = logging_bridge.install(telemetry)
+    try:
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            with telemetry.span("hidden"):
+                pass
+    finally:
+        logging_bridge.uninstall(bridge)
+    assert not [r for r in caplog.records if "hidden" in r.getMessage()]
