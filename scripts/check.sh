@@ -14,7 +14,12 @@ echo "== fast benches (telemetry enabled) =="
 REPRO_TELEMETRY=1 python -m pytest -q \
     benchmarks/bench_fig1_cim_clustering.py \
     benchmarks/bench_fig3_rtos_pmp.py \
-    benchmarks/bench_framework.py
+    benchmarks/bench_framework.py \
+    benchmarks/bench_fault_campaign.py
+
+echo "== fault campaign summary =="
+python scripts/fault_report.py benchmarks/results/fault_campaign.json \
+    --by scenario --worst 5
 
 echo "== trace report =="
 python scripts/trace_report.py benchmarks/results/trace.jsonl \

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Summarize (or run) a fault-injection campaign from the command line.
+
+    PYTHONPATH=src python scripts/fault_report.py \
+        benchmarks/results/fault_campaign.json --by model --worst 5
+
+    PYTHONPATH=src python scripts/fault_report.py --run \
+        --seed 2026 --injections 240 --out campaign.json
+
+Reads the canonical campaign JSON written by
+``benchmarks/bench_fault_campaign.py`` (or produces a fresh one with
+``--run``) and prints outcome totals, a per-model/site/scenario
+breakdown and the worst surviving runs (silent corruption and crashes
+first).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+_SEVERITY = ["crash", "silent_corruption", "detected", "recovered",
+             "masked"]
+
+
+def _print_breakdown(title: str, buckets: dict) -> None:
+    print(f"\n{title}")
+    width = max((len(k) for k in buckets), default=0)
+    for key, outcomes in buckets.items():
+        parts = ", ".join(f"{name}={count}"
+                          for name, count in sorted(outcomes.items()))
+        print(f"  {key.ljust(width)}  {parts}")
+
+
+def summarize(data: dict, by: str, worst: int) -> int:
+    campaign = data["campaign"]
+    totals = data["totals"]
+    runs = data["runs"]
+    print(f"campaign: seed={campaign['seed']} "
+          f"injections={campaign['injections']} "
+          f"scenarios={','.join(campaign['scenarios'])}")
+    print(f"hardened: {','.join(campaign['hardened'])} "
+          f"(violations: {data['hardened_violations']})")
+    print("totals: " + ", ".join(f"{k}={v}"
+                                 for k, v in sorted(totals.items())))
+    key = {"model": "by_model", "site": "by_site",
+           "scenario": "by_scenario"}[by]
+    _print_breakdown(f"outcomes by {by}:", data[key])
+
+    ranked = sorted(
+        (run for run in runs
+         if run["outcome"] in ("crash", "silent_corruption")),
+        key=lambda r: _SEVERITY.index(r["outcome"]))
+    if ranked:
+        print(f"\nworst runs ({min(worst, len(ranked))} of "
+              f"{len(ranked)}):")
+        for run in ranked[:worst]:
+            print(f"  #{run['index']:<4d} {run['scenario']:18s} "
+                  f"{run['site']:24s} {run['model']:18s} "
+                  f"{run['outcome']:18s} {run['reason']}")
+    else:
+        print("\nno silent corruption, no crashes.")
+    return 1 if data["hardened_violations"] else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarize a fault-injection campaign artifact")
+    parser.add_argument("artifact", nargs="?", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/results/"
+                                             "fault_campaign.json"),
+                        help="campaign JSON (default: the bench "
+                             "artifact)")
+    parser.add_argument("--by", choices=("model", "site", "scenario"),
+                        default="model",
+                        help="breakdown dimension to print")
+    parser.add_argument("--worst", type=int, default=10,
+                        help="max worst-run rows to print")
+    parser.add_argument("--run", action="store_true",
+                        help="run a fresh standard campaign instead "
+                             "of reading an artifact")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="campaign seed (with --run)")
+    parser.add_argument("--injections", type=int, default=240,
+                        help="number of injections (with --run)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="also write the campaign JSON here "
+                             "(with --run)")
+    args = parser.parse_args(argv)
+
+    if args.run:
+        from repro.faults.campaign import standard_campaign
+        result = standard_campaign(seed=args.seed,
+                                   injections=args.injections)
+        if args.out is not None:
+            result.write(args.out)
+            print(f"wrote {args.out}")
+        data = result.to_dict()
+    else:
+        if not args.artifact.exists():
+            parser.error(f"no such artifact: {args.artifact} "
+                         f"(run the bench first, or use --run)")
+        data = json.loads(args.artifact.read_text())
+    return summarize(data, by=args.by, worst=args.worst)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,272 @@
+"""Seeded fault-injection campaigns: plan, run, classify, export.
+
+A campaign fans a deterministic grid of single faults over one or more
+*scenarios* (end-to-end workloads with golden results), classifies
+every run into the :class:`~repro.faults.report.Outcome` taxonomy and
+aggregates per-model / per-site / per-scenario outcome counts.  The
+whole pipeline is a pure function of ``(scenarios, seed, injections)``:
+two campaigns with the same seed produce byte-identical canonical JSON
+— the contract the determinism test pins.
+
+Artifacts ride on the existing observability machinery: per-run
+records export as JSONL via :func:`repro.obs.export.write_jsonl`, and
+outcome counters feed :data:`repro.obs.TELEMETRY` when it is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from dataclasses import dataclass, field
+
+from ..obs import TELEMETRY
+from ..obs.export import write_jsonl
+from .injector import FAULTS, FaultSpec
+from .report import ACCEPTABLE_ON_HARDENED, Outcome
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One place in a scenario where a grid of faults can be planted.
+
+    The campaign planner draws concrete :class:`FaultSpec` parameters
+    from the ranges declared here: ``trigger`` uniformly from
+    ``range(triggers)``, ``bit`` from ``range(bits)`` (when > 0) and
+    ``magnitude`` from the ``magnitudes`` tuple.
+    """
+
+    site: str
+    model: str
+    triggers: int = 1
+    bits: int = 0
+    magnitudes: tuple = (1,)
+    count: int = 1
+    weight: int = 1
+
+
+class Scenario:
+    """One end-to-end workload a campaign injects faults into.
+
+    Subclasses declare ``name`` (stable identifier), ``hardened``
+    (whether silent corruption on this scenario is a defect) and
+    implement :meth:`fault_points` plus :meth:`execute`.
+
+    ``execute`` must be deterministic and return a dict with at least
+    ``status`` ("ok" or "detected"), ``reason`` (machine-readable, for
+    detected runs) and ``digest`` (hex string capturing the
+    architectural result; compared against the golden run).  It may
+    set ``recovered`` (bool) when an explicit retry/containment
+    repaired a transient fault.  Expected, typed failures must be
+    caught and reported as ``status="detected"`` — anything that
+    escapes is classified as a crash.
+    """
+
+    name = "scenario"
+    hardened = True
+
+    def fault_points(self) -> tuple:
+        raise NotImplementedError
+
+    def execute(self) -> dict:
+        raise NotImplementedError
+
+
+@dataclass
+class RunRecord:
+    """One classified injection run (everything JSON-native)."""
+
+    index: int
+    scenario: str
+    site: str
+    model: str
+    trigger: int
+    count: int
+    bit: int
+    magnitude: int
+    fired: int
+    outcome: str
+    reason: str = ""
+    detail: str = ""
+
+    def to_record(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _count_outcomes(runs, key) -> dict:
+    counts = {}
+    for run in runs:
+        bucket = counts.setdefault(key(run), {})
+        bucket[run.outcome] = bucket.get(run.outcome, 0) + 1
+    return {k: dict(sorted(v.items())) for k, v in sorted(counts.items())}
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, exportable as canonical JSON."""
+
+    seed: int
+    scenarios: list
+    hardened: list
+    runs: list = field(default_factory=list)
+
+    @property
+    def injections(self) -> int:
+        return len(self.runs)
+
+    def outcome_totals(self) -> dict:
+        totals = {}
+        for run in self.runs:
+            totals[run.outcome] = totals.get(run.outcome, 0) + 1
+        return dict(sorted(totals.items()))
+
+    def by_model(self) -> dict:
+        return _count_outcomes(self.runs, lambda r: r.model)
+
+    def by_site(self) -> dict:
+        return _count_outcomes(self.runs, lambda r: r.site)
+
+    def by_scenario(self) -> dict:
+        return _count_outcomes(self.runs, lambda r: r.scenario)
+
+    def hardened_violations(self) -> list:
+        """Runs on hardened scenarios outside the acceptable outcomes."""
+        acceptable = {o.value for o in ACCEPTABLE_ON_HARDENED}
+        return [run for run in self.runs
+                if run.scenario in self.hardened
+                and run.outcome not in acceptable]
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": {
+                "seed": self.seed,
+                "injections": self.injections,
+                "scenarios": list(self.scenarios),
+                "hardened": list(self.hardened),
+            },
+            "totals": self.outcome_totals(),
+            "by_model": self.by_model(),
+            "by_site": self.by_site(),
+            "by_scenario": self.by_scenario(),
+            "hardened_violations": len(self.hardened_violations()),
+            "runs": [run.to_record() for run in self.runs],
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization (no timestamps, sorted keys)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.canonical_json())
+        return path
+
+    def write_runs_jsonl(self, path) -> pathlib.Path:
+        return write_jsonl([run.to_record() for run in self.runs], path)
+
+
+# -- planning ------------------------------------------------------------
+
+def plan_injections(scenarios, seed: int, injections: int) -> list:
+    """The deterministic fault grid: ``[(scenario, FaultSpec), ...]``.
+
+    Fault points are cycled in declaration order (so every point gets
+    near-equal coverage regardless of the injection budget) while the
+    seeded RNG draws the free parameters of each spec.
+    """
+    rng = random.Random(seed)
+    points = []
+    for scenario in scenarios:
+        for point in scenario.fault_points():
+            points.extend([(scenario, point)] * max(1, point.weight))
+    if not points:
+        raise ValueError("no fault points declared by any scenario")
+    plans = []
+    for index in range(injections):
+        scenario, point = points[index % len(points)]
+        spec = FaultSpec(
+            site=point.site,
+            model=point.model,
+            trigger=rng.randrange(point.triggers) if point.triggers > 1
+            else 0,
+            count=point.count,
+            bit=rng.randrange(point.bits) if point.bits else 0,
+            magnitude=rng.choice(point.magnitudes),
+        )
+        plans.append((scenario, spec))
+    return plans
+
+
+# -- classification ------------------------------------------------------
+
+def classify(golden: dict, observed: dict, events: tuple,
+             crash: Exception = None) -> tuple:
+    """Map one run to ``(Outcome, reason, detail)``."""
+    fired = bool(events)
+    if crash is not None:
+        return (Outcome.CRASH, type(crash).__name__, str(crash)[:200])
+    if observed.get("status") == "detected":
+        return (Outcome.DETECTED, observed.get("reason", ""),
+                observed.get("detail", ""))
+    if observed.get("digest") == golden.get("digest"):
+        if fired and observed.get("recovered"):
+            return (Outcome.RECOVERED, observed.get("reason", "retry"),
+                    observed.get("detail", ""))
+        return (Outcome.MASKED,
+                "" if fired else "not-triggered", "")
+    return (Outcome.SILENT_CORRUPTION, "digest-mismatch",
+            f"got {observed.get('digest', '')[:16]} want "
+            f"{golden.get('digest', '')[:16]}")
+
+
+# -- running -------------------------------------------------------------
+
+def run_campaign(scenarios, seed: int = 2026,
+                 injections: int = 200) -> CampaignResult:
+    """Execute a full campaign; always leaves the injector disarmed."""
+    FAULTS.disarm()
+    golden = {}
+    for scenario in scenarios:
+        baseline = scenario.execute()
+        if baseline.get("status") != "ok":
+            raise RuntimeError(
+                f"golden run of scenario {scenario.name!r} failed: "
+                f"{baseline}")
+        golden[scenario.name] = baseline
+    result = CampaignResult(
+        seed=seed,
+        scenarios=[s.name for s in scenarios],
+        hardened=[s.name for s in scenarios if s.hardened])
+    for index, (scenario, spec) in enumerate(
+            plan_injections(scenarios, seed, injections)):
+        FAULTS.arm(spec)
+        observed, crash = None, None
+        try:
+            observed = scenario.execute()
+        except Exception as exc:          # crash class: nothing owned it
+            crash = exc
+        finally:
+            events = FAULTS.disarm()
+        outcome, reason, detail = classify(golden[scenario.name],
+                                           observed or {}, events, crash)
+        result.runs.append(RunRecord(
+            index=index, scenario=scenario.name, site=spec.site,
+            model=spec.model, trigger=spec.trigger, count=spec.count,
+            bit=spec.bit, magnitude=spec.magnitude, fired=len(events),
+            outcome=outcome.value, reason=reason, detail=detail))
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("faults.runs").inc()
+            TELEMETRY.counter(f"faults.outcome.{outcome.value}").inc()
+    return result
+
+
+def standard_campaign(seed: int = 2026,
+                      injections: int = 200) -> CampaignResult:
+    """Run the standard scenario suite (boot/attest, delivery, RTOS
+    protected + flat baseline, SoC fabric) under a seeded fault grid."""
+    # Imported lazily: scenarios pull in repro.tee/rtos/soc, which
+    # themselves import repro.faults for their hook sites.
+    from .scenarios import standard_scenarios
+    return run_campaign(standard_scenarios(), seed=seed,
+                        injections=injections)

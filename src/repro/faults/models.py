@@ -1,0 +1,60 @@
+"""Fault models: what a physical glitch can do to the simulated SoC.
+
+The CONVOLVE adversary model (paper Section II-B) declares physical
+fault injection out of scope, yet Section III reports two incidents
+that are faults in all but name — the SM stack silently corrupting
+under ML-DSA's working set (III-B) and the RTOS "endure and
+recuperate" scenarios (III-D).  This module names the fault models the
+campaign engine sweeps; each constant corresponds to one concrete
+manipulation a hook site knows how to apply:
+
+===================  ====================================================
+model                effect at the hook site
+===================  ====================================================
+BIT_FLIP             flip one bit of a byte string (memory word, hash,
+                     signature, fetched instruction)
+BUS_DROP             silently discard a bus transaction at submit
+BUS_CORRUPT          mark a bus transaction's payload corrupted (an
+                     ECC/parity-visible upset)
+BUS_DELAY            stretch a transaction's service latency
+INSTRUCTION_SKIP     skip one simulated call (clock/voltage glitch)
+STACK_SMASH          force an oversized stack allocation during signing
+WILD_STORE           make the running RTOS task store outside its
+                     PMP view (glitched address computation)
+TASK_BIT_FLIP        flip one bit inside a task's own memory region
+TRANSPORT_DROP       lose a delivery-channel message
+TRANSPORT_CORRUPT    flip one bit of a message on the wire
+TRANSPORT_DELAY      delay a message by ``magnitude`` time units
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+BIT_FLIP = "bit-flip"
+BUS_DROP = "bus-drop"
+BUS_CORRUPT = "bus-corrupt"
+BUS_DELAY = "bus-delay"
+INSTRUCTION_SKIP = "instruction-skip"
+STACK_SMASH = "stack-smash"
+WILD_STORE = "wild-store"
+TASK_BIT_FLIP = "task-bit-flip"
+TRANSPORT_DROP = "transport-drop"
+TRANSPORT_CORRUPT = "transport-corrupt"
+TRANSPORT_DELAY = "transport-delay"
+
+ALL_MODELS = frozenset({
+    BIT_FLIP, BUS_DROP, BUS_CORRUPT, BUS_DELAY, INSTRUCTION_SKIP,
+    STACK_SMASH, WILD_STORE, TASK_BIT_FLIP, TRANSPORT_DROP,
+    TRANSPORT_CORRUPT, TRANSPORT_DELAY,
+})
+
+
+def flip_bit(data: bytes, bit: int) -> bytes:
+    """Return ``data`` with bit ``bit`` (0 = LSB of byte 0) flipped."""
+    if not data:
+        return data
+    bit %= len(data) * 8
+    index, shift = divmod(bit, 8)
+    out = bytearray(data)
+    out[index] ^= 1 << shift
+    return bytes(out)

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.injector import FAULTS
+from ..faults.models import STACK_SMASH, TASK_BIT_FLIP, WILD_STORE, \
+    flip_bit
 from ..obs import TELEMETRY
 from ..soc.cpu import Hart
 from ..soc.memory import AccessFault, PhysicalMemory, Region
@@ -42,6 +45,9 @@ class KernelStats:
     ticks: int = 0
     context_switches: int = 0
     faults: int = 0
+    injected_faults: int = 0          # faults fired into tasks
+    contained_faults: int = 0         # faults the kernel caught and
+                                      # confined to the faulting task
     run_ticks: dict = field(default_factory=dict)
 
 
@@ -287,6 +293,8 @@ class Kernel:
                 task.start(TaskContext(task, self.hart))
             self.mpu.enter_task_mode()
             try:
+                if FAULTS.enabled:
+                    self._inject_fault(task)
                 call = task.step()
             except StopIteration:
                 task.state = TaskState.DONE
@@ -297,6 +305,7 @@ class Kernel:
                 task.state = TaskState.FAULTED
                 task.fault = fault
                 self.stats.faults += 1
+                self.stats.contained_faults += 1
                 if TELEMETRY.enabled:
                     TELEMETRY.counter("rtos.pmp_faults").inc()
                 self._log("access-fault", task, str(fault))
@@ -306,6 +315,7 @@ class Kernel:
                 task.state = TaskState.FAULTED
                 task.fault = fault
                 self.stats.faults += 1
+                self.stats.contained_faults += 1
                 if TELEMETRY.enabled:
                     TELEMETRY.counter("rtos.stack_overflows").inc()
                 self._log("stack-overflow", task, str(fault))
@@ -342,6 +352,36 @@ class Kernel:
             self.tick += 1
             self.stats.ticks += 1
         return self.stats
+
+    # -- fault injection ---------------------------------------------------
+
+    def _inject_fault(self, task: Task) -> None:
+        """Fire a pending ``rtos.kernel.task`` fault into ``task``.
+
+        Runs with the task's PMP view installed, so a wild store into
+        kernel memory is exactly what the hardened port must contain:
+        under ``protected=True`` the PMP raises an
+        :class:`~repro.soc.memory.AccessFault` (caught by the run
+        loop, task killed, system keeps running); under the flat
+        baseline the store lands and silently corrupts kernel state.
+        """
+        spec = FAULTS.fire("rtos.kernel.task")
+        if spec is None:
+            return
+        self.stats.injected_faults += 1
+        if spec.model == WILD_STORE:
+            offset = spec.bit % (self.kernel_region.size - 16)
+            self.hart.store(self.kernel_region.base + offset, b"\xfb")
+        elif spec.model == STACK_SMASH:
+            raise TaskStackOverflow(
+                f"injected stack smash in task {task.name!r}")
+        elif spec.model == TASK_BIT_FLIP:
+            region = (task.data_regions[0] if task.data_regions
+                      else task.stack_region)
+            offset = spec.bit % region.size
+            byte = self.hart.load(region.base + offset, 1)
+            self.hart.store(region.base + offset,
+                            flip_bit(byte, spec.bit % 8))
 
     # -- health -----------------------------------------------------------
 

@@ -21,16 +21,24 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..faults.injector import FAULTS
+from ..faults.models import BUS_CORRUPT, BUS_DELAY, BUS_DROP
+
 
 @dataclass
 class Transaction:
-    """One bus request from ``requestor``; ``latency`` service cycles."""
+    """One bus request from ``requestor``; ``latency`` service cycles.
+
+    ``corrupted`` marks a payload upset visible to ECC/parity at the
+    receiver (set only by an injected :data:`BUS_CORRUPT` fault).
+    """
 
     requestor: str
     issued_cycle: int
     latency: int = 1
     completed_cycle: int = None
     tag: object = None
+    corrupted: bool = False
 
 
 class Arbiter:
@@ -124,8 +132,19 @@ class SharedBus:
         self._busy_until = 0
         self._active = None
         self.stats = {}
+        self.dropped = []
 
     def submit(self, transaction: Transaction) -> None:
+        if FAULTS.enabled:
+            spec = FAULTS.fire("soc.bus.submit")
+            if spec is not None:
+                if spec.model == BUS_DROP:
+                    self.dropped.append(transaction)
+                    return
+                if spec.model == BUS_CORRUPT:
+                    transaction.corrupted = True
+                elif spec.model == BUS_DELAY:
+                    transaction.latency += max(1, spec.magnitude)
         queue = self._queues.setdefault(transaction.requestor, deque())
         queue.append(transaction)
         self.stats.setdefault(transaction.requestor, BusStatistics())
@@ -158,13 +177,16 @@ class SharedBus:
         return completed
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> list:
-        """Step until all queues are empty; returns all completions."""
+        """Step until all queues are empty; returns all completions.
+
+        Raises ``RuntimeError`` once ``max_cycles`` is reached with
+        traffic still pending — the watchdog that turns a wedged bus
+        (e.g. a transaction that can never fit its TDM slot run) into
+        a detected fault instead of a hang.
+        """
         completed = []
-        idle_cycles = 0
         while (self.pending_count() or self._active is not None):
             if self.cycle >= max_cycles:
                 raise RuntimeError("bus did not drain within cycle budget")
-            done = self.step()
-            completed.extend(done)
-            idle_cycles = 0 if done else idle_cycles + 1
+            completed.extend(self.step())
         return completed

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.injector import FAULTS
+from ..faults.models import INSTRUCTION_SKIP
 from .memory import AccessFault, PhysicalMemory
 from .pmp import Pmp, PrivilegeMode
 
@@ -120,13 +122,25 @@ class Hart:
 
     def fetch(self, address: int, size: int = 4) -> bytes:
         self._checked(address, size, "exec")
-        return self.memory.read(address, size)
+        data = self.memory.read(address, size)
+        if FAULTS.enabled:
+            data = FAULTS.corrupt("soc.cpu.fetch", data)
+        return data
 
     # -- stack-aware call simulation -------------------------------------
 
     def run_with_stack(self, function, frame_bytes: int, *args, **kwargs):
         """Run ``function`` charging ``frame_bytes`` against this hart's
-        stack, propagating :class:`StackOverflowFault` if guarded."""
+        stack, propagating :class:`StackOverflowFault` if guarded.
+
+        An injected instruction-skip fault (clock/voltage glitch model)
+        suppresses the call entirely and yields None — callers that
+        validate their results observe a missing value, not a wrong one.
+        """
+        if FAULTS.enabled:
+            spec = FAULTS.fire("soc.cpu.exec")
+            if spec is not None and spec.model == INSTRUCTION_SKIP:
+                return None
         self.stack.push_frame(frame_bytes)
         try:
             return function(*args, **kwargs)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..faults.injector import FAULTS
+
 
 class AccessFault(Exception):
     """A memory access was denied or fell outside mapped memory."""
@@ -147,10 +149,15 @@ class PhysicalMemory:
                 out.extend(page[offset:offset + take])
             address += take
             size -= take
-        return bytes(out)
+        data = bytes(out)
+        if FAULTS.enabled:
+            data = FAULTS.corrupt("soc.memory.read", data)
+        return data
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data``; the range must lie in one mapped region."""
+        if FAULTS.enabled:
+            data = FAULTS.corrupt("soc.memory.write", data)
         self._check_mapped(address, max(len(data), 1))
         offset_in_data = 0
         size = len(data)

@@ -12,8 +12,8 @@ compose the pieces directly:
 """
 
 from .device import Device
-from .bootrom import BootReport, BootRom, DEFAULT_SECTIONS, \
-    PQ_EXTRA_SECTIONS
+from .bootrom import (BootReport, BootRom, DEFAULT_SECTIONS,
+                      PQ_EXTRA_SECTIONS, VerifiedBoot)
 from .enclave import Enclave, EnclaveState
 from .attestation import (AttestationReport, DEFAULT_REPORT_LEN,
                           pq_report_len, verify_report)
@@ -21,8 +21,9 @@ from .sealing import derive_sealing_key, seal, unseal
 from .sm import (DEFAULT_SM_STACK, ED25519_SIGNING_STACK, PQ_SM_STACK,
                  KeystoneConfig, SecurityMonitor)
 from .platform import TeePlatform, build_tee, synthetic_sm_binary
-from .delivery import (AttestedPublisher, EnclaveKemIdentity,
-                       SealedPackage)
+from .delivery import (AttestedPublisher, DeliveryChannel,
+                       DeliveryError, DeliveryOutcome,
+                       EnclaveKemIdentity, SealedPackage)
 from .rollback import MonotonicCounter, RollbackError, VersionedSealer
 from .realtime import (IntegrationOutcome, convolve_integration,
                        evaluate_all as evaluate_realtime_tee,
@@ -31,10 +32,11 @@ from .realtime import (IntegrationOutcome, convolve_integration,
 __all__ = [
     "IntegrationOutcome", "convolve_integration",
     "evaluate_realtime_tee", "rtos_inside_tee", "tee_inside_rtos",
-    "AttestedPublisher", "EnclaveKemIdentity", "SealedPackage",
+    "AttestedPublisher", "DeliveryChannel", "DeliveryError",
+    "DeliveryOutcome", "EnclaveKemIdentity", "SealedPackage",
     "MonotonicCounter", "RollbackError", "VersionedSealer",
     "Device", "BootReport", "BootRom", "DEFAULT_SECTIONS",
-    "PQ_EXTRA_SECTIONS",
+    "PQ_EXTRA_SECTIONS", "VerifiedBoot",
     "Enclave", "EnclaveState",
     "AttestationReport", "DEFAULT_REPORT_LEN", "pq_report_len",
     "verify_report",

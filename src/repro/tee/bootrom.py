@@ -19,8 +19,10 @@ Two concerns live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
+from ..faults.injector import FAULTS
+from ..faults.report import FaultReport, Outcome
 from ..obs import TELEMETRY
 from ..crypto import ed25519
 from ..crypto.keccak import sha3_512, shake256
@@ -84,6 +86,68 @@ class BootReport:
     regenerated_pq_key_bytes: int = 0  # secret-key bytes expanded from
                                        # the stored 32-byte seed
 
+    # -- byte-level encoding (length-prefixed, self-delimiting) --------
+
+    MAGIC = b"BRPT1"
+
+    def encode(self) -> bytes:
+        """Serialize the hand-off: magic, then every byte field with a
+        4-byte big-endian length prefix, then the regeneration count."""
+        parts = [self.MAGIC]
+        for name in self._byte_fields():
+            value = getattr(self, name)
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(value)
+        parts.append(self.regenerated_pq_key_bytes.to_bytes(4, "big"))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BootReport":
+        """Parse :meth:`encode` output; raises ``ValueError`` on any
+        malformed input (bad magic, truncation, trailing bytes)."""
+        if data[:len(cls.MAGIC)] != cls.MAGIC:
+            raise ValueError("bad boot-report magic")
+        offset = len(cls.MAGIC)
+
+        def take(n):
+            nonlocal offset
+            chunk = data[offset:offset + n]
+            if len(chunk) != n:
+                raise ValueError("truncated boot report")
+            offset += n
+            return chunk
+
+        values = {}
+        for name in cls._byte_fields():
+            length = int.from_bytes(take(4), "big")
+            if length > len(data):
+                raise ValueError("boot-report field length too large")
+            values[name] = take(length)
+        values["regenerated_pq_key_bytes"] = int.from_bytes(take(4),
+                                                            "big")
+        if offset != len(data):
+            raise ValueError("trailing bytes after boot report")
+        return cls(**values)
+
+    @classmethod
+    def _byte_fields(cls) -> tuple:
+        return tuple(f.name for f in fields(cls) if f.type == "bytes")
+
+
+@dataclass
+class VerifiedBoot:
+    """Outcome of :meth:`BootRom.boot_verified`: either a verified
+    :class:`BootReport` or a fail-closed
+    :class:`~repro.faults.report.FaultReport` — never both, never an
+    exception."""
+
+    report: BootReport
+    fault: FaultReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
 
 class BootRom:
     """The immutable first-stage boot loader."""
@@ -105,7 +169,19 @@ class BootRom:
 
     def measure(self, sm_binary: bytes) -> bytes:
         """SHA3-512 measurement of the SM image in DRAM."""
-        return sha3_512(sm_binary)
+        measurement = sha3_512(sm_binary)
+        if FAULTS.enabled:
+            measurement = FAULTS.corrupt("tee.bootrom.measure",
+                                         measurement)
+        return measurement
+
+    def _sign_device(self, message: bytes) -> bytes:
+        """Device-key Ed25519 signing, with the fault hook that models
+        a glitched signing engine."""
+        signature = self.device.sign_classical(message)
+        if FAULTS.enabled:
+            signature = FAULTS.corrupt("tee.bootrom.sign", signature)
+        return signature
 
     def boot(self, sm_binary: bytes) -> BootReport:
         """Run the measured-boot sequence and produce the SM hand-off.
@@ -120,7 +196,7 @@ class BootRom:
                                 sm_bytes=len(sm_binary)):
                 measurement = self.measure(sm_binary)
             with TELEMETRY.span("tee.boot.sign", scheme="ed25519"):
-                classical_sig = self.device.sign_classical(
+                classical_sig = self._sign_device(
                     b"keystone-boot-v1" + measurement)
             pq_sig = b""
             regenerated = 0
@@ -151,7 +227,7 @@ class BootRom:
             with TELEMETRY.span("tee.boot.certify"):
                 cert_payload = sm_certificate_payload(
                     measurement, sm_ed_public, sm_mldsa_public)
-                cert_classical = self.device.sign_classical(cert_payload)
+                cert_classical = self._sign_device(cert_payload)
                 cert_pq = b""
                 if self.device.post_quantum:
                     cert_pq = MLDSA(self.device.mldsa_params).sign(
@@ -169,6 +245,54 @@ class BootRom:
             sm_cert_pq=cert_pq,
             regenerated_pq_key_bytes=regenerated,
         )
+
+    def boot_verified(self, sm_binary: bytes) -> "VerifiedBoot":
+        """Measured boot with fail-closed verification.
+
+        Runs :meth:`boot` followed by :meth:`verify_boot` and *never*
+        lets a raw exception or an unverified report escape: any
+        failure — a corrupted measurement, a glitched signature, an
+        error thrown mid-boot — degrades gracefully to a
+        :class:`VerifiedBoot` carrying a machine-readable
+        :class:`~repro.faults.report.FaultReport` and no boot report.
+        """
+        try:
+            report = self.boot(sm_binary)
+        except Exception as exc:          # fail closed, report the cause
+            return VerifiedBoot(report=None, fault=FaultReport(
+                component="tee.bootrom", outcome=Outcome.DETECTED,
+                reason="boot-exception",
+                detail=f"{type(exc).__name__}: {exc}"[:200]))
+        try:
+            verified = self.verify_boot(sm_binary, report)
+        except Exception as exc:
+            return VerifiedBoot(report=None, fault=FaultReport(
+                component="tee.bootrom", outcome=Outcome.DETECTED,
+                reason="verify-exception",
+                detail=f"{type(exc).__name__}: {exc}"[:200]))
+        if not verified:
+            return VerifiedBoot(report=None, fault=FaultReport(
+                component="tee.bootrom", outcome=Outcome.DETECTED,
+                reason="boot-verification-failed"))
+        return VerifiedBoot(report=report, fault=None)
+
+    def verify_handoff(self, sm_binary: bytes,
+                       report: BootReport) -> bool:
+        """Strict hand-off integrity check: the *entire* report —
+        signatures, derived seeds, certificates — must be exactly what
+        this device's deterministic boot produces for ``sm_binary``.
+
+        :meth:`verify_boot` checks only the signed fields; a bit flip
+        in, say, the derived SM seed would slip past it.  Device-side
+        recomputation closes that gap (at the cost of a full re-boot),
+        so any single-bit corruption of a stored/transmitted hand-off
+        is rejected.
+        """
+        try:
+            expected = self.boot(sm_binary)
+        except Exception:
+            return False
+        return expected.encode() == report.encode()
 
     def verify_boot(self, sm_binary: bytes, report: BootReport) -> bool:
         """Verifier-side check of the boot signatures (both must hold in

@@ -27,9 +27,39 @@ from ..crypto.aes import open_aead, seal_aead
 from ..crypto.kdf import derive_key
 from ..crypto.keccak import sha3_256
 from ..crypto.mlkem import ML_KEM_768, MLKEM, MLKEMParams
+from ..faults.injector import FAULTS
+from ..faults.models import (TRANSPORT_CORRUPT, TRANSPORT_DELAY,
+                             TRANSPORT_DROP, flip_bit)
+from ..faults.report import FaultReport, Outcome
 from .attestation import AttestationReport, verify_report
 
 _BINDING_PREFIX = b"mlkem-ek-v1:"
+
+
+class DeliveryError(ValueError):
+    """A delivery step failed, with a machine-readable reason code.
+
+    Subclasses ``ValueError`` so callers that treated unwrap failures
+    as generic value errors keep working; new callers can dispatch on
+    :attr:`reason` instead of parsing messages.
+
+    Reason codes:
+
+    * ``"decaps"`` — the KEM ciphertext was malformed (wrong size,
+      not a valid encapsulation for this key),
+    * ``"auth"`` — AEAD authentication failed (tampered payload, or
+      ML-KEM implicit rejection fed a garbage key into the KDF),
+    * ``"package-decode"`` — the wire bytes are not a well-formed
+      :class:`SealedPackage`,
+    * ``"attestation-rejected"`` — the publisher refused the report
+      or key binding,
+    * ``"transport-timeout"`` — retries exhausted the channel's
+      delivery deadline.
+    """
+
+    def __init__(self, reason: str, message: str = ""):
+        super().__init__(message or reason)
+        self.reason = reason
 
 
 class EnclaveKemIdentity:
@@ -47,12 +77,26 @@ class EnclaveKemIdentity:
         return _BINDING_PREFIX + sha3_256(self.ek)
 
     def unwrap(self, package: "SealedPackage") -> bytes:
-        """Decapsulate and decrypt a delivered payload."""
-        shared = self._kem.decaps(self._dk, package.kem_ciphertext)
+        """Decapsulate and decrypt a delivered payload.
+
+        Raises :class:`DeliveryError` with reason ``"decaps"`` for a
+        malformed KEM ciphertext and ``"auth"`` when AEAD opening
+        fails — which is also how ML-KEM's implicit rejection
+        surfaces: decapsulation of a tampered ciphertext silently
+        yields an unrelated shared secret, and the derived key then
+        fails authentication.
+        """
+        try:
+            shared = self._kem.decaps(self._dk, package.kem_ciphertext)
+        except ValueError as exc:
+            raise DeliveryError("decaps", str(exc)) from exc
         key = derive_key(shared, "attested-delivery",
                          package.label)
-        return open_aead(key, package.nonce, package.sealed_payload,
-                         package.label)
+        try:
+            return open_aead(key, package.nonce, package.sealed_payload,
+                             package.label)
+        except ValueError as exc:
+            raise DeliveryError("auth", str(exc)) from exc
 
 
 @dataclass
@@ -63,6 +107,48 @@ class SealedPackage:
     kem_ciphertext: bytes
     nonce: bytes
     sealed_payload: bytes
+
+    MAGIC = b"SPKG1"
+
+    def encode(self) -> bytes:
+        """Wire format: magic, then each field with a 4-byte
+        big-endian length prefix."""
+        parts = [self.MAGIC]
+        for value in (self.label, self.kem_ciphertext, self.nonce,
+                      self.sealed_payload):
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(value)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SealedPackage":
+        """Parse :meth:`encode` output; raises :class:`DeliveryError`
+        with reason ``"package-decode"`` on any malformed input."""
+        if data[:len(cls.MAGIC)] != cls.MAGIC:
+            raise DeliveryError("package-decode", "bad package magic")
+        offset = len(cls.MAGIC)
+
+        def take(n):
+            nonlocal offset
+            chunk = data[offset:offset + n]
+            if len(chunk) != n:
+                raise DeliveryError("package-decode",
+                                    "truncated package")
+            offset += n
+            return chunk
+
+        values = []
+        for _ in range(4):
+            length = int.from_bytes(take(4), "big")
+            if length > len(data):
+                raise DeliveryError("package-decode",
+                                    "package field length too large")
+            values.append(take(length))
+        if offset != len(data):
+            raise DeliveryError("package-decode",
+                                "trailing bytes after package")
+        return cls(label=values[0], kem_ciphertext=values[1],
+                   nonce=values[2], sealed_payload=values[3])
 
 
 class AttestedPublisher:
@@ -107,3 +193,120 @@ class AttestedPublisher:
         sealed = seal_aead(key, nonce, payload, label)
         return SealedPackage(label=label, kem_ciphertext=kem_ciphertext,
                              nonce=nonce, sealed_payload=sealed)
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of a hardened delivery attempt sequence."""
+
+    payload: bytes                    # None when delivery failed
+    attempts: int
+    elapsed: int                      # abstract transport time units
+    recovered: bool                   # succeeded after >= 1 retry
+    fault: FaultReport = None         # set only on failure
+
+    @property
+    def ok(self) -> bool:
+        return self.payload is not None
+
+
+class DeliveryChannel:
+    """Publisher-to-enclave delivery over a faultable transport, with
+    bounded retry, exponential backoff and a delivery deadline.
+
+    This is the recovery-hardening layer: a transient transport fault
+    (dropped or corrupted package) costs one retry and the delivery
+    *recovers*; a persistent fault exhausts ``max_attempts`` or the
+    ``deadline`` budget and the channel fails closed with a
+    machine-readable :class:`~repro.faults.report.FaultReport` —
+    never a hang, never a silently wrong payload (AEAD authentication
+    rejects every corrupted package).
+
+    The transport is where ``tee.delivery.transport`` faults land:
+    drop (package lost), corrupt (single-bit upset on the wire) and
+    delay (adds ``magnitude`` time units toward the deadline).
+    """
+
+    def __init__(self, publisher: AttestedPublisher,
+                 enclave: EnclaveKemIdentity, max_attempts: int = 4,
+                 backoff_base: int = 1, deadline: int = 64):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.publisher = publisher
+        self.enclave = enclave
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.deadline = deadline
+
+    def _transport(self, wire: bytes):
+        """One traversal of the faultable wire.
+
+        Returns ``(received_bytes_or_None, extra_delay)``.
+        """
+        delay = 1
+        if FAULTS.enabled:
+            spec = FAULTS.fire("tee.delivery.transport")
+            if spec is not None:
+                if spec.model == TRANSPORT_DROP:
+                    return None, delay
+                if spec.model == TRANSPORT_CORRUPT:
+                    wire = flip_bit(wire, spec.bit)
+                elif spec.model == TRANSPORT_DELAY:
+                    delay += max(1, spec.magnitude)
+        return wire, delay
+
+    def deliver(self, report_bytes: bytes, payload: bytes,
+                label: bytes = b"payload") -> DeliveryOutcome:
+        """Run the full attested delivery with recovery.
+
+        Attestation rejection is deterministic, so it fails fast (no
+        retry).  Transport-level failures — lost package, corrupted
+        wire bytes, AEAD rejection — are retried with exponential
+        backoff until ``max_attempts`` or ``deadline`` runs out.
+        """
+        elapsed = 0
+        last_reason = "transport-timeout"
+        for attempt in range(1, self.max_attempts + 1):
+            # Fresh encapsulation entropy per attempt: a replayed
+            # package is never re-sent, so a corrupting channel cannot
+            # collect two copies of the same ciphertext.
+            entropy = sha3_256(b"delivery-attempt" + label
+                               + attempt.to_bytes(4, "big"))
+            package = self.publisher.deliver(report_bytes,
+                                             self.enclave.ek, payload,
+                                             label=label,
+                                             entropy=entropy)
+            if package is None:
+                return DeliveryOutcome(
+                    payload=None, attempts=attempt, elapsed=elapsed,
+                    recovered=False, fault=FaultReport(
+                        component="tee.delivery",
+                        outcome=Outcome.DETECTED,
+                        reason="attestation-rejected"))
+            received, delay = self._transport(package.encode())
+            elapsed += delay
+            if elapsed > self.deadline:
+                # The receiver gave up before the package arrived; a
+                # late package is discarded, never half-trusted.
+                last_reason = "transport-delay"
+                break
+            if received is not None:
+                try:
+                    decoded = SealedPackage.decode(received)
+                    clear = self.enclave.unwrap(decoded)
+                    return DeliveryOutcome(
+                        payload=clear, attempts=attempt,
+                        elapsed=elapsed, recovered=attempt > 1)
+                except DeliveryError as exc:
+                    last_reason = exc.reason
+            else:
+                last_reason = "transport-drop"
+            if elapsed >= self.deadline:
+                break
+            elapsed += self.backoff_base * (2 ** (attempt - 1))
+        return DeliveryOutcome(
+            payload=None, attempts=attempt, elapsed=elapsed,
+            recovered=False, fault=FaultReport(
+                component="tee.delivery", outcome=Outcome.DETECTED,
+                reason="transport-timeout",
+                detail=f"last failure: {last_reason}"))

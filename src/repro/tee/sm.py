@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from ..crypto import ed25519
 from ..crypto.mldsa import ML_DSA_44, MLDSA, MLDSAParams
+from ..faults.injector import FAULTS
+from ..faults.models import STACK_SMASH
 from ..obs import TELEMETRY
 from ..soc.cpu import Hart, StackModel
 from ..soc.memory import PhysicalMemory, Region
@@ -216,13 +218,22 @@ class SecurityMonitor:
         If the frame overflows the (guard-less) SM stack, the stack
         corrupts silently and the produced signature is garbage — the
         exact failure mode the paper hit with ML-DSA on the default
-        8 KB stack.
+        8 KB stack.  An injected stack-smash fault inflates the frame
+        by ``magnitude`` bytes (a glitched allocation), reproducing
+        the same corruption on demand; an injected bit flip at
+        ``tee.sm.sign`` models a glitched signing engine.
         """
+        if FAULTS.enabled:
+            spec = FAULTS.fire("tee.sm.stack")
+            if spec is not None and spec.model == STACK_SMASH:
+                frame_bytes += max(1, spec.magnitude)
         self.stack.push_frame(frame_bytes)
         try:
             signature = signer(payload)
             if self.stack.corrupted:
                 signature = bytes(b ^ 0xA5 for b in signature)
+            if FAULTS.enabled:
+                signature = FAULTS.corrupt("tee.sm.sign", signature)
             return signature
         finally:
             self.stack.pop_frame()

@@ -1,0 +1,229 @@
+"""Campaign planning, classification and deterministic export.
+
+ISSUE 2 satellites: same seed -> byte-identical canonical JSON, the
+hardened scenarios admit no silent corruption, and the flat RTOS
+baseline demonstrates exactly the silent-corruption class the PMP port
+removes.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FAULTS, FaultSpec, Outcome
+from repro.faults.campaign import (CampaignResult, FaultPoint,
+                                   RunRecord, Scenario, classify,
+                                   plan_injections, run_campaign,
+                                   standard_campaign)
+from repro.faults.models import BIT_FLIP
+from repro.faults.scenarios import (BootAttestScenario,
+                                    RtosScenario,
+                                    SocFabricScenario,
+                                    standard_scenarios)
+
+SEED = 99
+SMALL = 30
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    FAULTS.disarm()
+    yield
+    FAULTS.disarm()
+
+
+class TestClassify:
+    GOLDEN = {"status": "ok", "digest": "aa"}
+    EVENT = ("fired",)
+
+    def test_crash_wins(self):
+        outcome, reason, _ = classify(self.GOLDEN, {}, (),
+                                      crash=KeyError("x"))
+        assert outcome is Outcome.CRASH
+        assert reason == "KeyError"
+
+    def test_detected(self):
+        outcome, reason, _ = classify(
+            self.GOLDEN, {"status": "detected", "reason": "ecc"},
+            self.EVENT)
+        assert outcome is Outcome.DETECTED
+        assert reason == "ecc"
+
+    def test_masked_fired(self):
+        outcome, reason, _ = classify(
+            self.GOLDEN, {"status": "ok", "digest": "aa"}, self.EVENT)
+        assert outcome is Outcome.MASKED
+        assert reason == ""
+
+    def test_masked_not_triggered(self):
+        outcome, reason, _ = classify(
+            self.GOLDEN, {"status": "ok", "digest": "aa"}, ())
+        assert outcome is Outcome.MASKED
+        assert reason == "not-triggered"
+
+    def test_recovered_needs_flag_and_event(self):
+        observed = {"status": "ok", "digest": "aa", "recovered": True}
+        assert classify(self.GOLDEN, observed,
+                        self.EVENT)[0] is Outcome.RECOVERED
+        assert classify(self.GOLDEN, observed, ())[0] is Outcome.MASKED
+
+    def test_silent_corruption(self):
+        outcome, reason, _ = classify(
+            self.GOLDEN, {"status": "ok", "digest": "bb"}, self.EVENT)
+        assert outcome is Outcome.SILENT_CORRUPTION
+        assert reason == "digest-mismatch"
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self):
+        scenarios = (SocFabricScenario(),)
+        first = plan_injections(scenarios, seed=5, injections=20)
+        second = plan_injections(scenarios, seed=5, injections=20)
+        assert [spec for _, spec in first] == [s for _, s in second]
+        third = plan_injections(scenarios, seed=6, injections=20)
+        assert [s for _, s in first] != [s for _, s in third]
+
+    def test_points_cycle_evenly(self):
+        scenarios = (SocFabricScenario(),)
+        n_points = len(scenarios[0].fault_points())
+        plans = plan_injections(scenarios, seed=1,
+                                injections=2 * n_points)
+        sites = [spec.site + spec.model for _, spec in plans]
+        assert sites[:n_points] == sites[n_points:]
+
+    def test_no_points_is_an_error(self):
+        class Empty(Scenario):
+            name = "empty"
+
+            def fault_points(self):
+                return ()
+
+            def execute(self):
+                return {"status": "ok", "digest": ""}
+
+        with pytest.raises(ValueError):
+            plan_injections((Empty(),), seed=1, injections=1)
+
+
+class _FlakyScenario(Scenario):
+    """Golden run fails -> run_campaign must refuse to start."""
+
+    name = "flaky"
+
+    def fault_points(self):
+        return (FaultPoint("x", BIT_FLIP),)
+
+    def execute(self):
+        return {"status": "detected", "reason": "always"}
+
+
+class TestRunCampaign:
+    def test_rejects_failing_golden_run(self):
+        with pytest.raises(RuntimeError, match="golden run"):
+            run_campaign((_FlakyScenario(),), seed=1, injections=1)
+
+    def test_injector_left_disarmed(self):
+        run_campaign((SocFabricScenario(),), seed=1, injections=4)
+        assert not FAULTS.enabled
+        assert FAULTS.armed == ()
+
+    def test_crash_classified_not_raised(self):
+        class Crashy(SocFabricScenario):
+            name = "crashy"
+
+            def execute(self):
+                if FAULTS.enabled:
+                    raise ZeroDivisionError("unowned")
+                return super().execute()
+
+        result = run_campaign((Crashy(),), seed=1, injections=3)
+        assert result.outcome_totals() == {"crash": 3}
+        assert result.runs[0].reason == "ZeroDivisionError"
+
+
+class TestStandardCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return standard_campaign(seed=SEED, injections=SMALL)
+
+    def test_runs_everything(self, result):
+        assert result.injections == SMALL
+        assert set(result.scenarios) == {
+            "boot-attest", "attested-delivery", "rtos-protected",
+            "rtos-flat", "soc-fabric"}
+        assert "rtos-flat" not in result.hardened
+
+    def test_hardened_paths_never_corrupt_silently(self, result):
+        assert result.hardened_violations() == []
+
+    def test_boot_attest_fired_faults_all_detected(self, result):
+        for run in result.runs:
+            if run.scenario == "boot-attest" and run.fired:
+                assert run.outcome == "detected", run
+
+    def test_flat_baseline_shows_silent_corruption(self):
+        """The defect class the PMP port exists to remove must be
+        visible on the unhardened baseline."""
+        flat = RtosScenario(protected=False)
+        result = run_campaign((flat,), seed=SEED, injections=12)
+        assert result.outcome_totals().get("silent_corruption", 0) > 0
+        assert result.hardened_violations() == []   # not hardened
+
+    def test_protected_rtos_contains_everything(self):
+        result = run_campaign((RtosScenario(protected=True),),
+                              seed=SEED, injections=8)
+        outcomes = set(result.outcome_totals())
+        assert outcomes <= {"detected", "masked"}
+
+
+class TestDeterministicExport:
+    def test_same_seed_byte_identical_json(self, tmp_path):
+        scenarios = [(BootAttestScenario(), SocFabricScenario())
+                     for _ in range(2)]
+        first = run_campaign(scenarios[0], seed=SEED, injections=10)
+        second = run_campaign(scenarios[1], seed=SEED, injections=10)
+        assert first.canonical_json() == second.canonical_json()
+        path_a = first.write(tmp_path / "a.json")
+        path_b = second.write(tmp_path / "b.json")
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_different_seed_differs(self):
+        first = run_campaign((SocFabricScenario(),), seed=1,
+                             injections=10)
+        second = run_campaign((SocFabricScenario(),), seed=2,
+                              injections=10)
+        assert first.canonical_json() != second.canonical_json()
+
+    def test_json_is_loadable_and_complete(self, tmp_path):
+        result = run_campaign((SocFabricScenario(),), seed=3,
+                              injections=6)
+        loaded = json.loads(result.canonical_json())
+        assert loaded["campaign"]["seed"] == 3
+        assert loaded["campaign"]["injections"] == 6
+        assert sum(loaded["totals"].values()) == 6
+        assert len(loaded["runs"]) == 6
+        assert loaded["hardened_violations"] == 0
+
+    def test_runs_jsonl_export(self, tmp_path):
+        result = run_campaign((SocFabricScenario(),), seed=3,
+                              injections=4)
+        path = result.write_runs_jsonl(tmp_path / "runs.jsonl")
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 4
+        record = json.loads(lines[0])
+        assert record["outcome"] in {o.value for o in Outcome}
+
+    def test_run_record_roundtrip(self):
+        record = RunRecord(index=0, scenario="s", site="x",
+                           model=BIT_FLIP, trigger=0, count=1, bit=2,
+                           magnitude=1, fired=1, outcome="masked")
+        assert RunRecord(**record.to_record()) == record
+
+    def test_campaign_result_accumulators(self):
+        result = CampaignResult(seed=0, scenarios=["s"], hardened=["s"])
+        result.runs.append(RunRecord(
+            index=0, scenario="s", site="x", model=BIT_FLIP, trigger=0,
+            count=1, bit=0, magnitude=1, fired=1,
+            outcome="silent_corruption"))
+        assert result.by_site() == {"x": {"silent_corruption": 1}}
+        assert len(result.hardened_violations()) == 1

@@ -12,11 +12,16 @@ from hypothesis import strategies as st
 
 from repro.crypto import hybrid
 from repro.crypto.mldsa import ML_DSA_44, MLDSA
+from repro.faults.models import flip_bit
 from repro.hades import (DesignContext, enumerate_designs, pareto_front)
 from repro.hades.library import adder_mod_q
 from repro.soc import (AddressMode, Pmp, PmpEntry, PrivilegeMode,
                        napot_address)
-from repro.tee import AttestationReport
+from repro.tee import AttestationReport, BootReport, BootRom
+from repro.tee.delivery import (AttestedPublisher, DeliveryError,
+                                EnclaveKemIdentity, SealedPackage)
+from repro.tee.device import Device
+from repro.tee.platform import build_tee, synthetic_sm_binary
 
 
 class TestAttestationDecodeFuzz:
@@ -64,6 +69,92 @@ class TestSignatureFuzz:
         assert not self.SCHEME.verify(self.PK, b"msg", junk)
         pair = hybrid.HybridKeyPair(bytes(32), bytes(32))
         assert not hybrid.verify(pair.public, b"msg", junk)
+
+
+class TestBootReportFuzz:
+    """ISSUE 2 satellite: the boot hand-off encoding round-trips, and
+    every single-bit corruption of a real encoded report is rejected —
+    cleanly (``ValueError``) or by device-side recomputation — and
+    never crashes or slips through."""
+
+    SM_BINARY = synthetic_sm_binary()
+    BOOTROM = BootRom(Device(bytes(32)))
+    GOLDEN = BOOTROM.boot(SM_BINARY)
+    WIRE = GOLDEN.encode()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=96), st.binary(max_size=96),
+           st.binary(max_size=96), st.integers(0, 2 ** 32 - 1))
+    def test_encode_decode_roundtrip(self, measurement, signature,
+                                     seed, regenerated):
+        report = BootReport(
+            sm_measurement=measurement, classical_boot_signature=signature,
+            pq_boot_signature=b"", sm_ed25519_seed=seed,
+            sm_mldsa_seed=b"", regenerated_pq_key_bytes=regenerated)
+        assert BootReport.decode(report.encode()) == report
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_garbage_rejected_cleanly(self, data):
+        try:
+            BootReport.decode(data)
+        except ValueError:
+            pass
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_single_bit_flip_never_accepted(self, data):
+        bit = data.draw(st.integers(0, len(self.WIRE) * 8 - 1))
+        tampered = flip_bit(self.WIRE, bit)
+        try:
+            report = BootReport.decode(tampered)
+        except ValueError:
+            return                        # structurally rejected
+        assert not self.BOOTROM.verify_handoff(self.SM_BINARY, report)
+
+
+class TestSealedPackageFuzz:
+    """Same property for the delivery wire format: round-trip, clean
+    rejection of garbage, and no single-bit flip of a real package is
+    ever unwrapped to a payload."""
+
+    PLATFORM = build_tee()
+    KEM = EnclaveKemIdentity(seed_d=bytes(32), seed_z=bytes(32))
+    _enclave = PLATFORM.sm.create_enclave(b"\x5a" * 64)
+    _report = PLATFORM.sm.attest_enclave(_enclave, KEM.report_binding())
+    PUBLISHER = AttestedPublisher(
+        PLATFORM.device.public_identity(),
+        expected_sm_hash=PLATFORM.boot_report.sm_measurement,
+        expected_enclave_hash=_enclave.measurement)
+    PACKAGE = PUBLISHER.deliver(_report.encode(), KEM.ek,
+                                b"secret-model-weights",
+                                entropy=bytes(32))
+    WIRE = PACKAGE.encode()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=64),
+           st.binary(max_size=64), st.binary(max_size=64))
+    def test_encode_decode_roundtrip(self, label, ciphertext, nonce,
+                                     sealed):
+        package = SealedPackage(label=label, kem_ciphertext=ciphertext,
+                                nonce=nonce, sealed_payload=sealed)
+        assert SealedPackage.decode(package.encode()) == package
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_garbage_rejected_cleanly(self, data):
+        try:
+            SealedPackage.decode(data)
+        except DeliveryError as exc:
+            assert exc.reason == "package-decode"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_single_bit_flip_never_unwraps(self, data):
+        bit = data.draw(st.integers(0, len(self.WIRE) * 8 - 1))
+        tampered = flip_bit(self.WIRE, bit)
+        with pytest.raises(DeliveryError):
+            self.KEM.unwrap(SealedPackage.decode(tampered))
 
 
 def _reference_pmp_check(entries, address, size, access, mode):
