@@ -11,6 +11,7 @@ import pytest
 
 from repro.compsoc import (measure_overhead, periodic_workload,
                            verify_composability)
+from repro.obs import counting
 
 from conftest import write_table
 
@@ -46,10 +47,19 @@ def test_composability_per_policy(benchmark, policy):
 
 
 def test_overhead(benchmark):
-    report = benchmark.pedantic(
-        lambda: measure_overhead([_app, _hog,
-                                  lambda: _hog("hog2", 0x1020_0000)]),
-        rounds=1, iterations=1)
+    with counting() as window:
+        report = benchmark.pedantic(
+            lambda: measure_overhead([_app, _hog,
+                                      lambda: _hog("hog2",
+                                                   0x1020_0000)]),
+            rounds=1, iterations=1)
+    counters = window.delta()
+    # The makespan numbers come from a real cycle-level simulation:
+    # bus cycles elapsed, requests were submitted and granted.
+    assert counters["soc.bus.cycles"] > 0
+    assert counters["soc.bus.requests"] > 0
+    assert counters["soc.bus.grants"] > 0
+    assert counters["compsoc.runs"] >= 3      # one per policy
     _results["overhead"] = report
     assert report.tdm_overhead_vs_best > 0
 

@@ -13,6 +13,19 @@ Run with ``REPRO_TELEMETRY=1`` to also capture a structured trace of
 every instrumented subsystem; it is exported on session exit to
 ``results/trace.jsonl`` + ``results/metrics.json`` and summarized by
 ``scripts/trace_report.py``.
+
+Run with ``REPRO_PERF=1`` to additionally count architectural events
+(bus grants, PMP checks, context switches, crypto invocations, ...):
+each bench's counter deltas land in its ``BENCH_SUMMARY.json`` entry,
+the session totals in ``results/perf_counters.json``, and — when
+telemetry is also on — a per-span attribution of those events in
+``results/profile.collapsed`` (flamegraph-compatible collapsed
+stacks).  ``scripts/bench_history.py`` appends each summary to
+``results/bench_history.jsonl`` and gates on run-over-run
+regressions.
+
+All artifacts are written atomically (tmp file + ``os.replace``) so
+an interrupted session never leaves a truncated JSON behind.
 """
 
 import json
@@ -21,7 +34,8 @@ import time
 
 import pytest
 
-from repro.obs import TELEMETRY
+from repro.obs import PERF, PROFILER, TELEMETRY, PerfSnapshot, \
+    atomic_write_text
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY_PATH = pathlib.Path(__file__).parent.parent / \
@@ -29,6 +43,8 @@ SUMMARY_PATH = pathlib.Path(__file__).parent.parent / \
 
 #: bench module stem -> {"wall_time_s", "tests", "failures", "skips"}
 _bench_times = {}
+#: bench module stem -> PerfSnapshot of architectural-event deltas
+_bench_counters = {}
 _session_started = None
 
 
@@ -64,15 +80,15 @@ def write_table(report_dir, name: str, title: str, header: list,
         lines.append("  ".join(str(c).ljust(w)
                                for c, w in zip(row, widths)))
     text = "\n".join(lines) + "\n"
-    (report_dir / f"{name}.txt").write_text(text)
+    atomic_write_text(report_dir / f"{name}.txt", text)
     payload = {
         "name": name,
         "title": title,
         "header": [str(h) for h in header],
         "rows": [[_json_cell(c) for c in row] for row in rows],
     }
-    (report_dir / f"{name}.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(report_dir / f"{name}.json",
+                      json.dumps(payload, indent=2) + "\n")
     return text
 
 
@@ -81,6 +97,30 @@ def write_table(report_dir, name: str, title: str, header: list,
 def pytest_sessionstart(session):
     global _session_started
     _session_started = time.time()
+    if PERF.enabled and TELEMETRY.enabled:
+        # Per-span attribution of architectural events; exported as a
+        # collapsed-stack profile on session exit.
+        PROFILER.attach(TELEMETRY.tracer)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    """Attribute architectural-event deltas to the running bench.
+
+    Wraps the whole protocol (not just the call phase) so events from
+    module-scoped fixtures — e.g. the fault campaign — are attributed
+    to the bench whose setup ran them.
+    """
+    if not PERF.enabled:
+        yield
+        return
+    before = PERF.snapshot()
+    yield
+    delta = PERF.snapshot() - before
+    stem = pathlib.Path(item.nodeid.split("::")[0]).stem
+    if stem.startswith("bench_") and delta:
+        _bench_counters[stem] = \
+            _bench_counters.get(stem, PerfSnapshot()) + delta
 
 
 def pytest_runtest_logreport(report):
@@ -115,15 +155,26 @@ def pytest_sessionfinish(session, exitstatus):
         {"name": stem,
          "wall_time_s": round(entry["wall_time_s"], 6),
          "status": _bench_status(entry),
-         "tests": entry["tests"]}
+         "tests": entry["tests"],
+         "counters": dict(_bench_counters.get(stem, {}))}
         for stem, entry in sorted(_bench_times.items())]
     summary = {
         "session_wall_time_s": round(time.time() - _session_started, 6)
         if _session_started else None,
         "telemetry_enabled": TELEMETRY.enabled,
+        "perf_enabled": PERF.enabled,
         "benches": benches,
     }
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
-    if TELEMETRY.enabled:
+    atomic_write_text(SUMMARY_PATH, json.dumps(summary, indent=2) + "\n")
+    if TELEMETRY.enabled or PERF.enabled:
         RESULTS_DIR.mkdir(exist_ok=True)
+    if PERF.enabled:
+        atomic_write_text(
+            RESULTS_DIR / "perf_counters.json",
+            json.dumps(dict(PERF.snapshot()), indent=2,
+                       sort_keys=True) + "\n")
+    if PROFILER.attached:
+        PROFILER.write_collapsed(RESULTS_DIR / "profile.collapsed")
+        PROFILER.detach()
+    if TELEMETRY.enabled:
         TELEMETRY.export(RESULTS_DIR)

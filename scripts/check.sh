@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Repo health check: tier-1 tests, then the fast benches with telemetry
-# enabled, then a trace-report sanity pass over the captured trace.
+# and architectural perf counters enabled, then a trace-report sanity
+# pass over the captured trace + collapsed profile, then the bench run
+# is recorded into benchmarks/results/bench_history.jsonl and the
+# run-over-run trend is printed (the hard regression *gate* is a
+# separate CI step so perf failures are distinguishable from test
+# failures).
 #
 #     bash scripts/check.sh
 set -euo pipefail
@@ -10,8 +15,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
-echo "== fast benches (telemetry enabled) =="
-REPRO_TELEMETRY=1 python -m pytest -q \
+echo "== fast benches (telemetry + perf counters enabled) =="
+REPRO_TELEMETRY=1 REPRO_PERF=1 python -m pytest -q \
     benchmarks/bench_fig1_cim_clustering.py \
     benchmarks/bench_fig3_rtos_pmp.py \
     benchmarks/bench_framework.py \
@@ -23,7 +28,8 @@ python scripts/fault_report.py benchmarks/results/fault_campaign.json \
 
 echo "== trace report =="
 python scripts/trace_report.py benchmarks/results/trace.jsonl \
-    --metrics benchmarks/results/metrics.json --top 15
+    --metrics benchmarks/results/metrics.json \
+    --collapsed benchmarks/results/profile.collapsed --top 15
 
 echo "== bench summary =="
 python - <<'EOF'
@@ -33,5 +39,8 @@ for bench in summary["benches"]:
     print(f"{bench['name']:40s} {bench['wall_time_s']:10.3f}s "
           f"{bench['status']}")
 EOF
+
+echo "== bench history (record + trend) =="
+python scripts/bench_history.py
 
 echo "check.sh: OK"

@@ -7,6 +7,13 @@
 
 Prints the top spans by cumulative or self time (or call count) and,
 optionally, the metrics snapshot written next to the trace.
+
+With ``--collapsed PATH`` the report additionally renders a
+collapsed-stack profile (as written by
+:meth:`repro.obs.Profiler.write_collapsed`): one ``a;b;c <count>``
+line per span path, here shown as a self-weight table with an inline
+bar chart.  The raw file itself is flamegraph.pl / speedscope
+compatible.
 """
 
 import argparse
@@ -16,8 +23,31 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro.obs import format_metrics, format_report, read_jsonl, \
-    summarize  # noqa: E402
+from repro.obs import format_metrics, format_report, parse_collapsed, \
+    read_jsonl, summarize  # noqa: E402
+
+BAR_WIDTH = 30
+
+
+def format_collapsed(stacks: dict, top: int = 20) -> str:
+    """Render a ``{path: weight}`` collapsed profile as a text table."""
+    if not stacks:
+        return "collapsed profile: empty"
+    total = sum(stacks.values()) or 1
+    ranked = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+    widest = max(len(path) for path, _ in ranked[:top])
+    lines = [f"collapsed profile: {len(stacks)} stacks, "
+             f"{total} total events",
+             f"{'stack':<{widest}}  {'events':>12}  {'share':>6}"]
+    for path, weight in ranked[:top]:
+        bar = "#" * max(1, round(BAR_WIDTH * weight / total))
+        lines.append(f"{path:<{widest}}  {weight:>12}  "
+                     f"{weight / total:>6.1%}  {bar}")
+    if len(ranked) > top:
+        rest = sum(weight for _, weight in ranked[top:])
+        lines.append(f"... {len(ranked) - top} more stacks "
+                     f"({rest} events)")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -34,6 +64,9 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", type=pathlib.Path, default=None,
                         help="optional metrics.json to print after "
                              "the span table")
+    parser.add_argument("--collapsed", type=pathlib.Path, default=None,
+                        help="optional collapsed-stack profile "
+                             "(profile.collapsed) to render")
     args = parser.parse_args(argv)
 
     if not args.trace.exists():
@@ -49,6 +82,15 @@ def main(argv=None) -> int:
     if args.metrics is not None:
         snapshot = json.loads(args.metrics.read_text())
         print(format_metrics(snapshot))
+    if args.collapsed is not None:
+        if not args.collapsed.exists():
+            parser.error(f"no such profile: {args.collapsed}")
+        stacks = {}
+        for path, value in parse_collapsed(args.collapsed.read_text()):
+            key = ";".join(path)
+            stacks[key] = stacks.get(key, 0) + value
+        print()
+        print(format_collapsed(stacks, top=args.top))
     return 0
 
 

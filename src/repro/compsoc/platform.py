@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 from ..soc.bus import (FcfsArbiter, RoundRobinArbiter, SharedBus,
                        TdmArbiter, Transaction)
 from ..soc.memory import Region
@@ -121,6 +122,11 @@ class ComposablePlatform:
         with TELEMETRY.span("compsoc.run", policy=self.policy,
                             veps=len(self.veps)) as span:
             timelines, bus = self._run(max_cycles)
+            if PERF.enabled:
+                PERF.inc("compsoc.runs")
+                PERF.inc("compsoc.cycles", bus.cycle)
+                PERF.inc("compsoc.transactions",
+                         sum(s.served for s in bus.stats.values()))
             if TELEMETRY.enabled:
                 self._record_utilization(bus, span)
             return timelines

@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 
 P = 2 ** 255 - 19
 L = 2 ** 252 + 27742317777372353535851937790883648493
@@ -126,6 +127,8 @@ def sign(secret: bytes, message: bytes) -> bytes:
     """Produce a 64-byte deterministic Ed25519 signature."""
     if len(secret) != SECRET_KEY_LEN:
         raise ValueError("Ed25519 secret must be 32 bytes")
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.sign")
     with TELEMETRY.span("crypto.ed25519.sign",
                         message_bytes=len(message)), \
             TELEMETRY.timer("crypto.ed25519.sign_seconds"):
@@ -146,6 +149,8 @@ def _sign(secret: bytes, message: bytes) -> bytes:
 
 def verify(public: bytes, message: bytes, signature: bytes) -> bool:
     """Check an Ed25519 signature; returns False on any malformation."""
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.verify")
     with TELEMETRY.span("crypto.ed25519.verify",
                         message_bytes=len(message)), \
             TELEMETRY.timer("crypto.ed25519.verify_seconds"):

@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass
 
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 from .keccak import Shake128, Shake256, shake256
 
 Q = 8380417
@@ -495,6 +496,8 @@ class MLDSA:
             seed = os.urandom(32)
         if len(seed) != 32:
             raise ValueError("ML-DSA seed must be 32 bytes")
+        if PERF.enabled:
+            PERF.inc("crypto.mldsa.key_gen")
         expanded = shake256(seed + bytes([p.k, p.l]), 128)
         rho, rho_prime, key = expanded[:32], expanded[32:96], expanded[96:]
         a_hat = expand_a(rho, p)
@@ -532,6 +535,8 @@ class MLDSA:
         ``_trace``, when given a dict, receives diagnostics used by the
         TEE stack-sizing experiment: ``attempts`` and ``peak_stack_bytes``.
         """
+        if PERF.enabled:
+            PERF.inc("crypto.mldsa.sign")
         with TELEMETRY.span("crypto.mldsa.sign",
                             message_bytes=len(message)), \
                 TELEMETRY.timer("crypto.mldsa.sign_seconds"):
@@ -602,6 +607,8 @@ class MLDSA:
     def verify(self, public: bytes, message: bytes, signature: bytes,
                context: bytes = b"") -> bool:
         """Check a signature; False on any malformation or mismatch."""
+        if PERF.enabled:
+            PERF.inc("crypto.mldsa.verify")
         with TELEMETRY.span("crypto.mldsa.verify",
                             message_bytes=len(message)), \
                 TELEMETRY.timer("crypto.mldsa.verify_seconds"):

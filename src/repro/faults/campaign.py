@@ -9,8 +9,11 @@ two campaigns with the same seed produce byte-identical canonical JSON
 — the contract the determinism test pins.
 
 Artifacts ride on the existing observability machinery: per-run
-records export as JSONL via :func:`repro.obs.export.write_jsonl`, and
-outcome counters feed :data:`repro.obs.TELEMETRY` when it is enabled.
+records export as JSONL via :func:`repro.obs.export.write_jsonl`; when
+:data:`repro.obs.TELEMETRY` is enabled the runner emits spans for the
+whole campaign, the golden phase, planning and every injection run,
+plus outcome-taxonomy counters (total and per scenario) and a
+``faults.fired_per_run`` histogram in ``metrics.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
 from ..obs.export import write_jsonl
+from ..obs.perf import PERF
 from .injector import FAULTS, FaultSpec
 from .report import ACCEPTABLE_ON_HARDENED, Outcome
 
@@ -157,9 +161,10 @@ class CampaignResult:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def write(self, path) -> pathlib.Path:
+        from ..obs.export import atomic_write_text
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.canonical_json())
+        atomic_write_text(path, self.canonical_json())
         return path
 
     def write_runs_jsonl(self, path) -> pathlib.Path:
@@ -225,39 +230,69 @@ def classify(golden: dict, observed: dict, events: tuple,
 def run_campaign(scenarios, seed: int = 2026,
                  injections: int = 200) -> CampaignResult:
     """Execute a full campaign; always leaves the injector disarmed."""
+    with TELEMETRY.span("faults.campaign", seed=seed,
+                        injections=injections,
+                        scenarios=len(scenarios)) as campaign_span:
+        result = _run_campaign(scenarios, seed, injections)
+        if TELEMETRY.enabled:
+            campaign_span.set_attr("hardened_violations",
+                                   len(result.hardened_violations()))
+            for outcome, total in result.outcome_totals().items():
+                campaign_span.set_attr(f"outcome.{outcome}", total)
+        return result
+
+
+def _run_campaign(scenarios, seed, injections) -> CampaignResult:
     FAULTS.disarm()
     golden = {}
-    for scenario in scenarios:
-        baseline = scenario.execute()
-        if baseline.get("status") != "ok":
-            raise RuntimeError(
-                f"golden run of scenario {scenario.name!r} failed: "
-                f"{baseline}")
-        golden[scenario.name] = baseline
+    with TELEMETRY.span("faults.campaign.golden",
+                        scenarios=len(scenarios)):
+        for scenario in scenarios:
+            baseline = scenario.execute()
+            if baseline.get("status") != "ok":
+                raise RuntimeError(
+                    f"golden run of scenario {scenario.name!r} failed: "
+                    f"{baseline}")
+            golden[scenario.name] = baseline
     result = CampaignResult(
         seed=seed,
         scenarios=[s.name for s in scenarios],
         hardened=[s.name for s in scenarios if s.hardened])
-    for index, (scenario, spec) in enumerate(
-            plan_injections(scenarios, seed, injections)):
-        FAULTS.arm(spec)
-        observed, crash = None, None
-        try:
-            observed = scenario.execute()
-        except Exception as exc:          # crash class: nothing owned it
-            crash = exc
-        finally:
-            events = FAULTS.disarm()
-        outcome, reason, detail = classify(golden[scenario.name],
-                                           observed or {}, events, crash)
+    with TELEMETRY.span("faults.campaign.plan", seed=seed,
+                        injections=injections):
+        plans = plan_injections(scenarios, seed, injections)
+    for index, (scenario, spec) in enumerate(plans):
+        with TELEMETRY.span("faults.campaign.run",
+                            scenario=scenario.name, site=spec.site,
+                            model=spec.model) as run_span:
+            FAULTS.arm(spec)
+            observed, crash = None, None
+            try:
+                observed = scenario.execute()
+            except Exception as exc:      # crash class: nothing owned it
+                crash = exc
+            finally:
+                events = FAULTS.disarm()
+            outcome, reason, detail = classify(
+                golden[scenario.name], observed or {}, events, crash)
+            if PERF.enabled:
+                PERF.inc("faults.campaign.runs")
+            if TELEMETRY.enabled:
+                run_span.set_attr("outcome", outcome.value)
+                run_span.set_attr("fired", len(events))
+                TELEMETRY.counter("faults.runs").inc()
+                TELEMETRY.counter(
+                    f"faults.outcome.{outcome.value}").inc()
+                TELEMETRY.counter(
+                    f"faults.outcome.{scenario.name}."
+                    f"{outcome.value}").inc()
+                TELEMETRY.histogram(
+                    "faults.fired_per_run").observe(len(events))
         result.runs.append(RunRecord(
             index=index, scenario=scenario.name, site=spec.site,
             model=spec.model, trigger=spec.trigger, count=spec.count,
             bit=spec.bit, magnitude=spec.magnitude, fired=len(events),
             outcome=outcome.value, reason=reason, detail=detail))
-        if TELEMETRY.enabled:
-            TELEMETRY.counter("faults.runs").inc()
-            TELEMETRY.counter(f"faults.outcome.{outcome.value}").inc()
     return result
 
 

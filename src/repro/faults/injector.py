@@ -24,6 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..obs.perf import PERF
 from .models import ALL_MODELS, BIT_FLIP, flip_bit
 
 
@@ -100,6 +101,8 @@ class FaultInjector:
         self._visits = {}
         self.events = []
         self.enabled = bool(self._specs)
+        if PERF.enabled and specs:
+            PERF.inc("faults.armed", len(specs))
         return self
 
     def disarm(self) -> tuple:
@@ -139,6 +142,8 @@ class FaultInjector:
         spec, visit = self._match(site)
         if spec is None:
             return None
+        if PERF.enabled:
+            PERF.inc("faults.fired")
         self.events.append(FaultEvent(site=site, model=spec.model,
                                       visit=visit, spec=spec))
         return spec
@@ -152,6 +157,8 @@ class FaultInjector:
         spec, visit = self._match(site)
         if spec is None or spec.model != BIT_FLIP or not data:
             return data
+        if PERF.enabled:
+            PERF.inc("faults.fired")
         bit = spec.bit % (len(data) * 8)
         self.events.append(FaultEvent(site=site, model=spec.model,
                                       visit=visit, detail=f"bit={bit}",

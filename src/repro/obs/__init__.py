@@ -1,13 +1,22 @@
-"""Cross-subsystem observability: tracing, metrics, benchmark artifacts.
+"""Cross-subsystem observability: tracing, metrics, perf counters,
+profiling, benchmark artifacts.
 
-Zero-dependency instrumentation layer (ISSUE 1) shared by every
-subsystem of the reproduction:
+Zero-dependency instrumentation layer (ISSUE 1 + ISSUE 3) shared by
+every subsystem of the reproduction:
 
 * :mod:`~repro.obs.tracer` — structured nested spans with JSONL export,
 * :mod:`~repro.obs.metrics` — counters, gauges, histograms (p50/95/99),
 * :mod:`~repro.obs.telemetry` — the global :data:`TELEMETRY` facade
   with an explicit no-op mode (disabled = one attribute check),
-* :mod:`~repro.obs.export` — JSONL read/write round-trip,
+* :mod:`~repro.obs.perf` — the global :data:`PERF` architectural
+  event-counter file (cycles, bus traffic, PMP checks, context
+  switches, crypto invocations, fault injections) with snapshot/delta
+  arithmetic,
+* :mod:`~repro.obs.profiler` — deterministic per-span event
+  attribution and flamegraph-style collapsed-stack export,
+* :mod:`~repro.obs.history` — the bench trajectory
+  (``bench_history.jsonl``) and the run-over-run regression gate,
+* :mod:`~repro.obs.export` — atomic JSONL/text artifact persistence,
 * :mod:`~repro.obs.report` — per-span aggregation (cumulative/self
   time) behind ``scripts/trace_report.py``,
 * :mod:`~repro.obs.logging_bridge` — opt-in mirror of trace events to
@@ -15,20 +24,30 @@ subsystem of the reproduction:
 
 Quick use::
 
-    from repro.obs import TELEMETRY
+    from repro.obs import PERF, TELEMETRY, counting
 
     TELEMETRY.enable()
-    with TELEMETRY.span("my.phase", size=42):
-        TELEMETRY.counter("my.items").inc()
+    with counting() as window:
+        with TELEMETRY.span("my.phase", size=42):
+            TELEMETRY.counter("my.items").inc()
+    assert window.delta()["soc.pmp.checks"] >= 0
     TELEMETRY.export("out/")        # out/trace.jsonl + out/metrics.json
 
-Telemetry is **off by default**; enable it per process with
-``REPRO_TELEMETRY=1`` or per call site with :func:`enable`.
+Telemetry and perf counting are **off by default**; enable per process
+with ``REPRO_TELEMETRY=1`` / ``REPRO_PERF=1`` or per call site with
+:func:`enable` / :func:`counting`.
 """
 
-from .export import read_jsonl, read_spans, write_jsonl
+from .export import (atomic_write_text, read_jsonl, read_spans,
+                     write_jsonl)
+from .history import (SCHEMA_VERSION, append_entry, append_run,
+                      detect_regressions, format_regressions,
+                      load_history, make_entry, trend_table)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       percentile)
+from .perf import (PERF, CountingWindow, PerfCounters, PerfSnapshot,
+                   counting, get_perf)
+from .profiler import PROFILER, Profiler, parse_collapsed
 from .report import format_metrics, format_report, summarize
 from .telemetry import (TELEMETRY, Telemetry, disable, enable,
                         get_telemetry)
@@ -36,8 +55,14 @@ from .tracer import Span, Tracer
 
 __all__ = [
     "TELEMETRY", "Telemetry", "enable", "disable", "get_telemetry",
+    "PERF", "PerfCounters", "PerfSnapshot", "CountingWindow",
+    "counting", "get_perf",
+    "PROFILER", "Profiler", "parse_collapsed",
+    "SCHEMA_VERSION", "make_entry", "append_entry", "append_run",
+    "load_history", "detect_regressions", "format_regressions",
+    "trend_table",
     "Span", "Tracer",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile",
-    "read_jsonl", "read_spans", "write_jsonl",
+    "read_jsonl", "read_spans", "write_jsonl", "atomic_write_text",
     "summarize", "format_report", "format_metrics",
 ]

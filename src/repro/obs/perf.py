@@ -1,0 +1,174 @@
+"""Architectural performance counters: the hardware-PMU analogue.
+
+The paper's overhead claims (Table III bootrom/report/stack sizes,
+Section III-E composable-execution cost) are *architectural* quantities
+— instructions retired, bus grants, PMP checks, crypto invocations —
+not wall seconds.  This module gives the simulators a hardware-style
+event-counter file so benches can assert and track event counts.
+
+Design rule (same as :data:`~repro.obs.telemetry.TELEMETRY` and
+``FAULTS``): *disabled counters cost one attribute check*.  Every
+instrumented site is written as
+
+    if PERF.enabled:
+        PERF.inc("soc.pmp.checks")
+
+Event names are dot-namespaced per subsystem (``soc.cpu.*``,
+``soc.bus.*``, ``rtos.*``, ``tee.*``, ``crypto.*``, ``compsoc.*``,
+``faults.*``), so a snapshot can be grouped or filtered by origin.
+
+Snapshots support delta arithmetic::
+
+    before = PERF.snapshot()
+    ... workload ...
+    delta = PERF.snapshot() - before        # PerfSnapshot
+    assert delta["soc.pmp.checks"] > 0      # missing events read as 0
+
+or, scoped, with :func:`counting`::
+
+    with counting() as window:
+        ... workload ...
+    assert window.delta()["rtos.context_switches"] > 0
+
+Enable per process with ``REPRO_PERF=1`` or programmatically with
+:meth:`PerfCounters.enable`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+
+class PerfSnapshot(dict):
+    """An immutable-by-convention ``{event: count}`` map.
+
+    Missing events read as 0, and snapshots subtract/add into new
+    snapshots, dropping zero entries so deltas stay compact::
+
+        delta = after - before
+        total = run1 + run2
+    """
+
+    def __missing__(self, key):
+        return 0
+
+    def __sub__(self, other: dict) -> "PerfSnapshot":
+        result = PerfSnapshot()
+        for key in set(self) | set(other):
+            value = self.get(key, 0) - other.get(key, 0)
+            if value:
+                result[key] = value
+        return result
+
+    def __add__(self, other: dict) -> "PerfSnapshot":
+        result = PerfSnapshot()
+        for key in set(self) | set(other):
+            value = self.get(key, 0) + other.get(key, 0)
+            if value:
+                result[key] = value
+        return result
+
+    def grouped(self) -> dict:
+        """Counts re-keyed by subsystem (the first dotted component)."""
+        groups = {}
+        for event, count in self.items():
+            subsystem = event.split(".", 1)[0]
+            bucket = groups.setdefault(subsystem, PerfSnapshot())
+            bucket[event] = count
+        return groups
+
+    def total(self) -> int:
+        """Sum of all event counts (the generic 'activity' scalar)."""
+        return sum(self.values())
+
+
+class PerfCounters:
+    """The process-global event-counter file.
+
+    One flat ``{event name: int}`` map behind an on/off switch; sites
+    guard every :meth:`inc` with ``if PERF.enabled`` so the disabled
+    path never takes the lock.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    # -- switch ------------------------------------------------------------
+
+    def enable(self) -> "PerfCounters":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "PerfCounters":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter; keep the switch state."""
+        with self._lock:
+            self._counts = {}
+
+    # -- counting ----------------------------------------------------------
+
+    def inc(self, event: str, amount: int = 1) -> None:
+        """Add ``amount`` to ``event`` (call sites guard on .enabled)."""
+        with self._lock:
+            self._counts[event] = self._counts.get(event, 0) + amount
+
+    def count(self, event: str) -> int:
+        return self._counts.get(event, 0)
+
+    def snapshot(self) -> PerfSnapshot:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return PerfSnapshot(self._counts)
+
+    def delta_since(self, before: dict) -> PerfSnapshot:
+        return self.snapshot() - before
+
+
+class CountingWindow:
+    """Handle yielded by :func:`counting`: the delta since entry."""
+
+    __slots__ = ("_counters", "_entry")
+
+    def __init__(self, counters: PerfCounters, entry: PerfSnapshot):
+        self._counters = counters
+        self._entry = entry
+
+    def delta(self) -> PerfSnapshot:
+        return self._counters.snapshot() - self._entry
+
+
+@contextmanager
+def counting(counters: PerfCounters = None):
+    """Enable ``counters`` for the block; yields a
+    :class:`CountingWindow` whose :meth:`~CountingWindow.delta` is the
+    events attributable to the block.  Restores the prior switch state
+    on exit (counts themselves keep accumulating — deltas, not resets,
+    isolate the window)."""
+    counters = counters if counters is not None else PERF
+    was_enabled = counters.enabled
+    entry = counters.snapshot()
+    counters.enabled = True
+    try:
+        yield CountingWindow(counters, entry)
+    finally:
+        counters.enabled = was_enabled
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_PERF", "") not in ("", "0", "off",
+                                                    "false")
+
+
+#: The process-global counter file every instrumented subsystem imports.
+PERF = PerfCounters(enabled=_env_enabled())
+
+
+def get_perf() -> PerfCounters:
+    return PERF

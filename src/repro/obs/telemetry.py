@@ -161,13 +161,14 @@ class Telemetry:
                metrics_name: str = "metrics.json") -> dict:
         """Write the JSONL trace and a metrics snapshot under
         ``directory``; returns ``{"trace": path, "metrics": path}``."""
-        from .export import write_jsonl
+        from .export import atomic_write_text, write_jsonl
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         trace_path = directory / trace_name
         metrics_path = directory / metrics_name
         write_jsonl(self.tracer.snapshot(), trace_path)
-        metrics_path.write_text(
+        atomic_write_text(
+            metrics_path,
             json.dumps(self.metrics_snapshot(), indent=2, sort_keys=True)
             + "\n")
         return {"trace": trace_path, "metrics": metrics_path}

@@ -87,6 +87,7 @@ class Tracer:
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._listeners = []
+        self._start_listeners = []
         self.finished = []
 
     # -- span lifecycle ----------------------------------------------------
@@ -110,6 +111,11 @@ class Tracer:
                     thread_id=threading.get_ident(),
                     start_s=self._clock(), attrs=attrs)
         stack.append(span)
+        if self._start_listeners:
+            with self._lock:
+                listeners = list(self._start_listeners)
+            for listener in listeners:
+                listener(span)
         return span
 
     def end_span(self, span: Span, status: str = "ok") -> Span:
@@ -151,6 +157,18 @@ class Tracer:
         with self._lock:
             if listener in self._listeners:
                 self._listeners.remove(listener)
+
+    def add_start_listener(self, listener) -> None:
+        """Register ``listener(span)`` called at every span start (the
+        profiler's entry-snapshot hook)."""
+        with self._lock:
+            if listener not in self._start_listeners:
+                self._start_listeners.append(listener)
+
+    def remove_start_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._start_listeners:
+                self._start_listeners.remove(listener)
 
     # -- access / export --------------------------------------------------
 

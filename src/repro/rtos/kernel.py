@@ -20,6 +20,7 @@ from ..faults.injector import FAULTS
 from ..faults.models import STACK_SMASH, TASK_BIT_FLIP, WILD_STORE, \
     flip_bit
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 from ..soc.cpu import Hart
 from ..soc.memory import AccessFault, PhysicalMemory, Region
 from .ipc import MessageQueue, Mutex
@@ -286,6 +287,8 @@ class Kernel:
                 self.stats.context_switches += 1
                 if TELEMETRY.enabled:
                     TELEMETRY.counter("rtos.context_switches").inc()
+                if PERF.enabled:
+                    PERF.inc("rtos.context_switches")
                 self.mpu.install(task)
                 self._running = task
             task.state = TaskState.RUNNING
@@ -308,6 +311,8 @@ class Kernel:
                 self.stats.contained_faults += 1
                 if TELEMETRY.enabled:
                     TELEMETRY.counter("rtos.pmp_faults").inc()
+                if PERF.enabled:
+                    PERF.inc("rtos.faults_contained")
                 self._log("access-fault", task, str(fault))
                 self._running = None
                 call = None
@@ -318,6 +323,8 @@ class Kernel:
                 self.stats.contained_faults += 1
                 if TELEMETRY.enabled:
                     TELEMETRY.counter("rtos.stack_overflows").inc()
+                if PERF.enabled:
+                    PERF.inc("rtos.faults_contained")
                 self._log("stack-overflow", task, str(fault))
                 self._running = None
                 call = None
@@ -351,6 +358,8 @@ class Kernel:
                     self._log("budget-exhausted", task)
             self.tick += 1
             self.stats.ticks += 1
+            if PERF.enabled:
+                PERF.inc("rtos.ticks")
         return self.stats
 
     # -- fault injection ---------------------------------------------------

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..faults.injector import FAULTS
 from ..faults.models import BUS_CORRUPT, BUS_DELAY, BUS_DROP
+from ..obs.perf import PERF
 
 
 @dataclass
@@ -135,6 +136,8 @@ class SharedBus:
         self.dropped = []
 
     def submit(self, transaction: Transaction) -> None:
+        if PERF.enabled:
+            PERF.inc("soc.bus.requests")
         if FAULTS.enabled:
             spec = FAULTS.fire("soc.bus.submit")
             if spec is not None:
@@ -173,6 +176,20 @@ class SharedBus:
                 transaction = self._queues[granted].popleft()
                 self._active = transaction
                 self._busy_until = self.cycle + transaction.latency
+                if PERF.enabled:
+                    PERF.inc("soc.bus.grants")
+            elif pending and PERF.enabled:
+                # Traffic waiting but nobody served: an arbitration
+                # stall (e.g. an idle TDM slot that is never donated).
+                PERF.inc("soc.bus.stall_cycles")
+        if PERF.enabled:
+            PERF.inc("soc.bus.cycles")
+            if completed:
+                PERF.inc("soc.bus.served", len(completed))
+                for transaction in completed:
+                    PERF.inc("soc.bus.wait_cycles",
+                             transaction.completed_cycle
+                             - transaction.issued_cycle)
         self.cycle += 1
         return completed
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..faults.injector import FAULTS
 from ..faults.models import INSTRUCTION_SKIP
+from ..obs.perf import PERF
 from .memory import AccessFault, PhysicalMemory
 from .pmp import Pmp, PrivilegeMode
 
@@ -101,6 +102,8 @@ class Hart:
 
     def trap(self, cause: str) -> None:
         """Enter M-mode, recording the cause (ecall, access fault, ...)."""
+        if PERF.enabled:
+            PERF.inc("soc.cpu.traps")
         self.trap_log.append((cause, self.mode))
         self.mode = PrivilegeMode.MACHINE
 
@@ -113,14 +116,20 @@ class Hart:
                 f"{self.mode.name} mode", address=address, access=access)
 
     def load(self, address: int, size: int) -> bytes:
+        if PERF.enabled:
+            PERF.inc("soc.cpu.loads")
         self._checked(address, size, "read")
         return self.memory.read(address, size)
 
     def store(self, address: int, data: bytes) -> None:
+        if PERF.enabled:
+            PERF.inc("soc.cpu.stores")
         self._checked(address, len(data), "write")
         self.memory.write(address, data)
 
     def fetch(self, address: int, size: int = 4) -> bytes:
+        if PERF.enabled:
+            PERF.inc("soc.cpu.instructions")
         self._checked(address, size, "exec")
         data = self.memory.read(address, size)
         if FAULTS.enabled:

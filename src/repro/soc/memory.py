@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..faults.injector import FAULTS
+from ..obs.perf import PERF
 
 
 class AccessFault(Exception):
@@ -129,6 +130,8 @@ class PhysicalMemory:
     def _check_mapped(self, address: int, size: int) -> None:
         region = self.memory_map.region_at(address)
         if region is None or not region.contains(address, size):
+            if PERF.enabled:
+                PERF.inc("soc.memory.faults")
             raise AccessFault(
                 f"unmapped physical access at {address:#x} (+{size})",
                 address=address, access="map")
@@ -137,6 +140,8 @@ class PhysicalMemory:
         """Read ``size`` bytes; the range must lie in one mapped region."""
         if size < 0:
             raise ValueError("negative read size")
+        if PERF.enabled:
+            PERF.inc("soc.memory.reads")
         self._check_mapped(address, max(size, 1))
         out = bytearray()
         while size > 0:
@@ -156,6 +161,8 @@ class PhysicalMemory:
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data``; the range must lie in one mapped region."""
+        if PERF.enabled:
+            PERF.inc("soc.memory.writes")
         if FAULTS.enabled:
             data = FAULTS.corrupt("soc.memory.write", data)
         self._check_mapped(address, max(len(data), 1))

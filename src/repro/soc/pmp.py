@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum, IntEnum
 
+from ..obs.perf import PERF
+
 
 class PrivilegeMode(IntEnum):
     """RISC-V privilege levels used by the simulator."""
@@ -179,14 +181,20 @@ class Pmp:
         entry = self._matching_entry(address, size)
         if entry is None:
             # No matching entry: M succeeds, S/U fail.
-            return mode is PrivilegeMode.MACHINE
-        if mode is PrivilegeMode.MACHINE and not entry.locked:
-            return True
-        if access == "read":
-            return entry.readable
-        if access == "write":
-            return entry.writable
-        return entry.executable
+            allowed = mode is PrivilegeMode.MACHINE
+        elif mode is PrivilegeMode.MACHINE and not entry.locked:
+            allowed = True
+        elif access == "read":
+            allowed = entry.readable
+        elif access == "write":
+            allowed = entry.writable
+        else:
+            allowed = entry.executable
+        if PERF.enabled:
+            PERF.inc("soc.pmp.checks")
+            if not allowed:
+                PERF.inc("soc.pmp.denials")
+        return allowed
 
     def active_ranges(self) -> list:
         """The (lo, hi, entry) tuples of all non-OFF entries (for tests

@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 from ..faults.injector import FAULTS
 from ..faults.report import FaultReport, Outcome
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 from ..crypto import ed25519
 from ..crypto.keccak import sha3_512, shake256
 from ..crypto.kdf import derive_seed_pair
@@ -169,6 +170,8 @@ class BootRom:
 
     def measure(self, sm_binary: bytes) -> bytes:
         """SHA3-512 measurement of the SM image in DRAM."""
+        if PERF.enabled:
+            PERF.inc("tee.bootrom.measurements")
         measurement = sha3_512(sm_binary)
         if FAULTS.enabled:
             measurement = FAULTS.corrupt("tee.bootrom.measure",
@@ -178,6 +181,8 @@ class BootRom:
     def _sign_device(self, message: bytes) -> bytes:
         """Device-key Ed25519 signing, with the fault hook that models
         a glitched signing engine."""
+        if PERF.enabled:
+            PERF.inc("tee.bootrom.device_signs")
         signature = self.device.sign_classical(message)
         if FAULTS.enabled:
             signature = FAULTS.corrupt("tee.bootrom.sign", signature)
@@ -190,6 +195,8 @@ class BootRom:
         SM signing seeds are derived from the device secret *and* the
         measurement, so a tampered SM gets unrelated keys.
         """
+        if PERF.enabled:
+            PERF.inc("tee.bootrom.boots")
         with TELEMETRY.span("tee.boot",
                             post_quantum=self.device.post_quantum):
             with TELEMETRY.span("tee.boot.measure",

@@ -24,6 +24,7 @@ from ..crypto.mldsa import ML_DSA_44, MLDSA, MLDSAParams
 from ..faults.injector import FAULTS
 from ..faults.models import STACK_SMASH
 from ..obs import TELEMETRY
+from ..obs.perf import PERF
 from ..soc.cpu import Hart, StackModel
 from ..soc.memory import PhysicalMemory, Region
 from ..soc.pmp import PmpEntry, PrivilegeMode
@@ -127,6 +128,8 @@ class SecurityMonitor:
         RWX, everything else in DRAM (other enclaves, the OS, the SM)
         stays blocked.  Every *other* core keeps the OS view, where
         this enclave's memory remains blacked out."""
+        if PERF.enabled:
+            PERF.inc("tee.sm.enclave_switches")
         hart.pmp.set_napot(self._enclave_pmp_slot(enclave),
                            enclave.region.base, enclave.region.size,
                            readable=True, writable=True,
@@ -223,6 +226,8 @@ class SecurityMonitor:
         the same corruption on demand; an injected bit flip at
         ``tee.sm.sign`` models a glitched signing engine.
         """
+        if PERF.enabled:
+            PERF.inc("tee.sm.signs")
         if FAULTS.enabled:
             spec = FAULTS.fire("tee.sm.stack")
             if spec is not None and spec.model == STACK_SMASH:
@@ -241,6 +246,8 @@ class SecurityMonitor:
     def attest_enclave(self, enclave: Enclave,
                        report_data: bytes = b"") -> AttestationReport:
         """Produce the (default or PQ) attestation report for an enclave."""
+        if PERF.enabled:
+            PERF.inc("tee.sm.attestations")
         with TELEMETRY.span("tee.attest",
                             enclave=enclave.enclave_id,
                             post_quantum=self.config.post_quantum):

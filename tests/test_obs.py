@@ -281,6 +281,66 @@ def test_summarize_self_vs_cumulative_time():
     assert summary["child"]["self_s"] == 2.0
 
 
+def test_summarize_empty_trace():
+    assert summarize([]) == {}
+    assert "0 spans" in format_report({}, sort="self", top=5)
+
+
+def test_summarize_single_sample():
+    tracer = Tracer(clock=FakeClock(step=2.0))
+    with tracer.span("only"):
+        pass
+    summary = summarize([s.to_record() for s in tracer.finished])
+    stats = summary["only"]
+    assert stats["count"] == 1
+    assert stats["total_s"] == stats["self_s"] == 2.0
+    assert stats["min_s"] == stats["max_s"] == stats["mean_s"] == 2.0
+    assert stats["errors"] == 0
+
+
+def test_summarize_nested_deeper_than_three():
+    tracer = Tracer(clock=FakeClock(step=1.0))
+    with tracer.span("d0"):                    # 0..9  cumulative 9
+        with tracer.span("d1"):                # 1..8  cumulative 7
+            with tracer.span("d2"):            # 2..7  cumulative 5
+                with tracer.span("d3"):        # 3..6  cumulative 3
+                    with tracer.span("d4"):    # 4..5  cumulative 1
+                        pass
+    summary = summarize([s.to_record() for s in tracer.finished])
+    # self time only subtracts *direct* children at every depth
+    assert summary["d0"]["self_s"] == 9.0 - 7.0
+    assert summary["d1"]["self_s"] == 7.0 - 5.0
+    assert summary["d2"]["self_s"] == 5.0 - 3.0
+    assert summary["d3"]["self_s"] == 3.0 - 1.0
+    assert summary["d4"]["self_s"] == 1.0
+    assert sum(s["self_s"] for s in summary.values()) == \
+        summary["d0"]["total_s"]
+
+
+def test_percentile_empty_and_single_sample():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.99) == 0.0
+    assert percentile([7.0], 0.0) == 7.0
+    assert percentile([7.0], 0.5) == 7.0
+    assert percentile([7.0], 1.0) == 7.0
+
+
+def test_percentile_all_identical_samples():
+    samples = [3.0] * 10
+    for fraction in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert percentile(samples, fraction) == 3.0
+
+
+def test_histogram_all_identical_samples(telemetry):
+    hist = telemetry.histogram("flat")
+    for _ in range(100):
+        hist.observe(4.2)
+    snap = hist.snapshot()
+    assert snap["count"] == 100
+    assert snap["mean"] == pytest.approx(4.2)
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 4.2
+
+
 def test_format_report_and_metrics_render(telemetry):
     with telemetry.span("alpha"):
         telemetry.counter("c").inc()
