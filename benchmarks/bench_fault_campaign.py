@@ -22,10 +22,16 @@ import pytest
 from conftest import write_table
 from repro.faults.campaign import standard_campaign
 from repro.faults.report import Outcome
+from repro.runtime import available_cpus
 
 SEED = 2026
 INJECTIONS = 240
 WALL_BUDGET_S = 60.0
+
+#: Fixed worker count for the parallel rerun (not CPU-derived, so the
+#: counters recorded into bench history stay machine-independent).
+PARALLEL_JOBS = 4
+PARALLEL_SPEEDUP_FLOOR = 1.2
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +74,36 @@ def test_flat_baseline_demonstrates_silent_corruption(campaign):
     assert flat.get("silent_corruption", 0) > 0, (
         "the unhardened baseline should show the defect class the "
         "PMP port removes")
+
+
+def test_parallel_campaign_byte_identical_and_faster(campaign,
+                                                     report_dir):
+    """Rerun the exact campaign fanned across worker processes: the
+    canonical JSON must match the serial run byte for byte, and on
+    hardware with enough CPUs (CI) the wall time must beat serial."""
+    serial, serial_wall = campaign
+    start = time.perf_counter()
+    parallel = standard_campaign(seed=SEED, injections=INJECTIONS,
+                                 jobs=PARALLEL_JOBS)
+    parallel_wall = time.perf_counter() - start
+
+    assert parallel.canonical_json() == serial.canonical_json()
+
+    speedup = serial_wall / parallel_wall
+    write_table(
+        report_dir, "fault_campaign_parallel",
+        f"Fault campaign parallel: {INJECTIONS} injections across "
+        f"{PARALLEL_JOBS} workers ({available_cpus()} CPUs "
+        f"available), byte-identical canonical JSON",
+        ["mode", "jobs", "wall", "runs/s", "speedup"],
+        [["serial", 1, f"{serial_wall:.3f} s",
+          f"{INJECTIONS / serial_wall:,.0f}", "1.00x"],
+         ["chunked", PARALLEL_JOBS, f"{parallel_wall:.3f} s",
+          f"{INJECTIONS / parallel_wall:,.0f}", f"{speedup:.2f}x"]])
+    if available_cpus() >= PARALLEL_JOBS:
+        assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
+            f"campaign chunked {PARALLEL_JOBS} ways on "
+            f"{available_cpus()} CPUs sped up only {speedup:.2f}x")
 
 
 def test_every_fault_model_was_exercised(campaign):

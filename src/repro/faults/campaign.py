@@ -26,8 +26,13 @@ from dataclasses import dataclass, field
 from ..obs import TELEMETRY
 from ..obs.export import write_jsonl
 from ..obs.perf import PERF
+from ..runtime import chunk_bounds, resolve_jobs, run_sharded
 from .injector import FAULTS, FaultSpec
 from .report import ACCEPTABLE_ON_HARDENED, Outcome
+
+#: An env-requested parallel campaign stays serial below this many
+#: injection runs per worker — pool startup would dominate.
+MIN_RUNS_PER_JOB = 16
 
 
 @dataclass(frozen=True)
@@ -227,13 +232,22 @@ def classify(golden: dict, observed: dict, events: tuple,
 
 # -- running -------------------------------------------------------------
 
-def run_campaign(scenarios, seed: int = 2026,
-                 injections: int = 200) -> CampaignResult:
-    """Execute a full campaign; always leaves the injector disarmed."""
+def run_campaign(scenarios, seed: int = 2026, injections: int = 200,
+                 jobs: int = None) -> CampaignResult:
+    """Execute a full campaign; always leaves the injector disarmed.
+
+    ``jobs`` > 1 (or ``REPRO_JOBS`` when omitted) executes the
+    injection runs across worker processes.  Every run is independent
+    by construction — the plan is fixed up front and the injector is
+    armed/disarmed around each run — so chunks of the plan merge back
+    in run-index order into the exact serial record list and the
+    canonical JSON stays byte-identical for any worker count.
+    """
     with TELEMETRY.span("faults.campaign", seed=seed,
                         injections=injections,
                         scenarios=len(scenarios)) as campaign_span:
-        result = _run_campaign(scenarios, seed, injections)
+        result = _run_campaign(scenarios, seed, injections, jobs,
+                               campaign_span)
         if TELEMETRY.enabled:
             campaign_span.set_attr("hardened_violations",
                                    len(result.hardened_violations()))
@@ -242,7 +256,53 @@ def run_campaign(scenarios, seed: int = 2026,
         return result
 
 
-def _run_campaign(scenarios, seed, injections) -> CampaignResult:
+def _execute_one(index: int, scenario, spec, golden: dict) -> RunRecord:
+    """Arm, execute, disarm and classify one planned injection."""
+    with TELEMETRY.span("faults.campaign.run",
+                        scenario=scenario.name, site=spec.site,
+                        model=spec.model) as run_span:
+        FAULTS.arm(spec)
+        observed, crash = None, None
+        try:
+            observed = scenario.execute()
+        except Exception as exc:          # crash class: nothing owned it
+            crash = exc
+        finally:
+            events = FAULTS.disarm()
+        outcome, reason, detail = classify(golden, observed or {},
+                                           events, crash)
+        if PERF.enabled:
+            PERF.inc("faults.campaign.runs")
+        if TELEMETRY.enabled:
+            run_span.set_attr("outcome", outcome.value)
+            run_span.set_attr("fired", len(events))
+            TELEMETRY.counter("faults.runs").inc()
+            TELEMETRY.counter(f"faults.outcome.{outcome.value}").inc()
+            TELEMETRY.counter(
+                f"faults.outcome.{scenario.name}."
+                f"{outcome.value}").inc()
+            TELEMETRY.histogram(
+                "faults.fired_per_run").observe(len(events))
+    return RunRecord(
+        index=index, scenario=scenario.name, site=spec.site,
+        model=spec.model, trigger=spec.trigger, count=spec.count,
+        bit=spec.bit, magnitude=spec.magnitude, fired=len(events),
+        outcome=outcome.value, reason=reason, detail=detail)
+
+
+def _execute_plan_range(state, bounds) -> list:
+    """Execute one contiguous chunk of the plan (serially inline, or
+    inside a forked pool worker); returns plain picklable records."""
+    plans, golden = state
+    lo, hi = bounds
+    return [_execute_one(index, scenario, spec,
+                         golden[scenario.name])
+            for index, (scenario, spec)
+            in enumerate(plans[lo:hi], start=lo)]
+
+
+def _run_campaign(scenarios, seed, injections, jobs,
+                  campaign_span) -> CampaignResult:
     FAULTS.disarm()
     golden = {}
     with TELEMETRY.span("faults.campaign.golden",
@@ -261,47 +321,22 @@ def _run_campaign(scenarios, seed, injections) -> CampaignResult:
     with TELEMETRY.span("faults.campaign.plan", seed=seed,
                         injections=injections):
         plans = plan_injections(scenarios, seed, injections)
-    for index, (scenario, spec) in enumerate(plans):
-        with TELEMETRY.span("faults.campaign.run",
-                            scenario=scenario.name, site=spec.site,
-                            model=spec.model) as run_span:
-            FAULTS.arm(spec)
-            observed, crash = None, None
-            try:
-                observed = scenario.execute()
-            except Exception as exc:      # crash class: nothing owned it
-                crash = exc
-            finally:
-                events = FAULTS.disarm()
-            outcome, reason, detail = classify(
-                golden[scenario.name], observed or {}, events, crash)
-            if PERF.enabled:
-                PERF.inc("faults.campaign.runs")
-            if TELEMETRY.enabled:
-                run_span.set_attr("outcome", outcome.value)
-                run_span.set_attr("fired", len(events))
-                TELEMETRY.counter("faults.runs").inc()
-                TELEMETRY.counter(
-                    f"faults.outcome.{outcome.value}").inc()
-                TELEMETRY.counter(
-                    f"faults.outcome.{scenario.name}."
-                    f"{outcome.value}").inc()
-                TELEMETRY.histogram(
-                    "faults.fired_per_run").observe(len(events))
-        result.runs.append(RunRecord(
-            index=index, scenario=scenario.name, site=spec.site,
-            model=spec.model, trigger=spec.trigger, count=spec.count,
-            bit=spec.bit, magnitude=spec.magnitude, fired=len(events),
-            outcome=outcome.value, reason=reason, detail=detail))
+    jobs = resolve_jobs(jobs, work=len(plans),
+                        min_work_per_job=MIN_RUNS_PER_JOB)
+    if TELEMETRY.enabled:
+        campaign_span.set_attr("jobs", jobs)
+    outputs = run_sharded(_execute_plan_range, (plans, golden),
+                          chunk_bounds(len(plans), jobs), jobs=jobs)
+    result.runs = [record for chunk in outputs for record in chunk]
     return result
 
 
-def standard_campaign(seed: int = 2026,
-                      injections: int = 200) -> CampaignResult:
+def standard_campaign(seed: int = 2026, injections: int = 200,
+                      jobs: int = None) -> CampaignResult:
     """Run the standard scenario suite (boot/attest, delivery, RTOS
     protected + flat baseline, SoC fabric) under a seeded fault grid."""
     # Imported lazily: scenarios pull in repro.tee/rtos/soc, which
     # themselves import repro.faults for their hook sites.
     from .scenarios import standard_scenarios
     return run_campaign(standard_scenarios(), seed=seed,
-                        injections=injections)
+                        injections=injections, jobs=jobs)

@@ -13,20 +13,42 @@ smarter approach employs a heuristic strategy called *local search*."
   improvements are kept until a fixpoint.  The paper reports perfect
   Kyber-CCA results from as few as 50 random starts in under 200 s
   versus 36 h exhaustively.
+
+Both explorers ride the deterministic parallel executor
+(:mod:`repro.runtime`): ``jobs=`` (or ``REPRO_JOBS``) shards the
+exhaustive traversal by interleaved index ranges and fans independent
+local-search starts across worker processes, with per-shard
+reductions merged so that the optimum, the top-k ranking and every
+counter total are identical for any worker count.  Coordinate descent
+additionally memoizes revisited neighbours through a bounded
+:class:`~repro.runtime.memo.Memo` cache, and
+:meth:`ExhaustiveExplorer.run_all_goals` scores every goal in a single
+traversal instead of re-enumerating the space per goal.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import random
 import time
 from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
+from ..runtime import (Memo, chunk_bounds, resolve_jobs, run_sharded,
+                       stride_shards)
 from .metrics import OptimizationGoal
 from .template import (Configuration, DesignContext, EvaluatedDesign,
                        InfeasibleConfiguration, Template,
                        enumerate_designs)
+
+#: An env-requested parallel exhaustive run stays serial below this
+#: many raw configurations per worker — pool startup would dominate.
+MIN_CONFIGS_PER_JOB = 2048
+
+#: Likewise for local search: every worker gets at least this many
+#: independent random starts.
+MIN_STARTS_PER_JOB = 2
 
 
 @dataclass
@@ -41,10 +63,98 @@ class ExplorationResult:
     evaluations: int            # cost-function calls actually made
     elapsed_seconds: float
     top: list = field(default_factory=list)   # best-first ranking
+    jobs: int = 1               # worker processes the run fanned over
 
     @property
     def best_score(self) -> float:
         return self.goal.score(self.best.metrics)
+
+
+def _rank_key(goal: OptimizationGoal, design: EvaluatedDesign,
+              raw_index: int) -> tuple:
+    """The total order every exhaustive reduction ranks by: the goal
+    score, tie-broken by area-latency product, then area ("optimized
+    towards one or more optimization goals"), then raw enumeration
+    index — so shard merges reproduce serial first-encounter wins and
+    ``top[0]`` always equals ``best``."""
+    metrics = design.metrics
+    return (goal.score(metrics), metrics.area_latency_product,
+            metrics.area_kge, raw_index)
+
+
+class _GoalReduction:
+    """Streaming (best, top-k heap) reduction for one goal on one shard.
+
+    ``heap`` is a bounded max-heap over the negated rank key, so the
+    *worst* kept design pops first; shard dumps are plain
+    ``(best_key, best, [(key, design), ...])`` tuples that pickle and
+    merge commutatively.
+    """
+
+    __slots__ = ("goal", "top_k", "best_key", "best", "heap")
+
+    def __init__(self, goal: OptimizationGoal, top_k: int):
+        self.goal = goal
+        self.top_k = top_k
+        self.best_key = None
+        self.best = None
+        self.heap = []
+
+    def consider(self, raw_index: int, design: EvaluatedDesign) -> None:
+        key = _rank_key(self.goal, design, raw_index)
+        if self.best_key is None or key < self.best_key:
+            self.best_key, self.best = key, design
+        if self.top_k > 1:
+            heapq.heappush(self.heap,
+                           (tuple(-c for c in key), design))
+            if len(self.heap) > self.top_k:
+                heapq.heappop(self.heap)
+
+    def dump(self) -> tuple:
+        kept = [(tuple(-c for c in negated), design)
+                for negated, design in self.heap]
+        return self.best_key, self.best, kept
+
+
+def _exhaustive_shard(state, shard) -> tuple:
+    """Reduce one interleaved index shard of the full space.
+
+    Runs in a pool worker (or inline when serial); everything it
+    returns is plain data, and the union of all shards is exactly the
+    serial stream, so the merged result is provably the serial one.
+    """
+    template, context, goals, top_k = state
+    offset, step = shard
+    obs_counter = TELEMETRY.counter("hades.evaluations") \
+        if TELEMETRY.enabled else None
+    feasible = 0
+    reductions = [_GoalReduction(goal, top_k) for goal in goals]
+    for raw_index, design in enumerate_designs(
+            template, context, start=offset, step=step,
+            with_index=True):
+        feasible += 1
+        if obs_counter is not None:
+            obs_counter.inc()
+        for reduction in reductions:
+            reduction.consider(raw_index, design)
+    return feasible, [reduction.dump() for reduction in reductions]
+
+
+def _merge_goal(outputs: list, position: int, top_k: int) -> tuple:
+    """Merge one goal's per-shard reductions: minimum by rank key for
+    the optimum, global sort of the kept heaps for the top-k."""
+    best_key = best = None
+    entries = []
+    for _, dumps in outputs:
+        shard_key, shard_best, kept = dumps[position]
+        if shard_key is not None and \
+                (best_key is None or shard_key < best_key):
+            best_key, best = shard_key, shard_best
+        entries.extend(kept)
+    top = [design for _, design in
+           sorted(entries, key=lambda entry: entry[0])[:top_k]] \
+        if top_k > 1 else []
+    return best, top
 
 
 class ExhaustiveExplorer:
@@ -55,71 +165,71 @@ class ExhaustiveExplorer:
         self.template = template
         self.context = context
 
-    def run(self, goal: OptimizationGoal,
-            top_k: int = 1) -> ExplorationResult:
+    def run(self, goal: OptimizationGoal, top_k: int = 1,
+            jobs: int = None) -> ExplorationResult:
         """Traverse the entire space and return the optimum for ``goal``.
 
         ``top_k`` > 1 additionally collects the k best designs ("a small
         set of implementations optimized towards one or more goals").
+        ``jobs`` > 1 shards the traversal across worker processes with
+        an identical result (serial is the default; ``REPRO_JOBS``
+        applies when ``jobs`` is omitted).
         """
         with TELEMETRY.span("hades.exhaustive.run",
                             template=self.template.name,
                             goal=goal.name) as span:
-            return self._run(goal, top_k, span)
+            return self._run_goals((goal,), top_k, jobs, span)[goal]
 
-    def _run(self, goal: OptimizationGoal, top_k: int,
-             span) -> ExplorationResult:
-        started = time.perf_counter()
-        total = self.template.count_configurations()
-        feasible = 0
-        heap = []      # max-heap of (-score, counter, design)
-        counter = 0
-        best = None
-        best_score = (float("inf"),) * 3
-        obs_counter = TELEMETRY.counter("hades.evaluations") \
-            if TELEMETRY.enabled else None
-        for design in enumerate_designs(self.template, self.context):
-            feasible += 1
-            if obs_counter is not None:
-                obs_counter.inc()
-            # Ties on the primary goal resolve by area-latency product,
-            # then area — "optimized towards one or more optimization
-            # goals".
-            score = (goal.score(design.metrics),
-                     design.metrics.area_latency_product,
-                     design.metrics.area_kge)
-            if score < best_score:
-                best, best_score = design, score
-            if top_k > 1:
-                heapq.heappush(heap, (-score[0], counter, design))
-                counter += 1
-                if len(heap) > top_k:
-                    heapq.heappop(heap)
-        if best is None:
-            raise InfeasibleConfiguration(
-                f"no feasible design for {self.template.name} in "
-                f"{self.context}")
-        elapsed = time.perf_counter() - started
-        top = [design for _, _, design in
-               sorted(heap, key=lambda item: -item[0])]
-        if TELEMETRY.enabled:
-            span.set_attr("explored", total)
-            span.set_attr("feasible", feasible)
-            if elapsed > 0:
-                TELEMETRY.gauge("hades.evals_per_sec").set(
-                    feasible / elapsed)
-        return ExplorationResult(
-            template_name=self.template.name, goal=goal, best=best,
-            explored=total, feasible=feasible, evaluations=feasible,
-            elapsed_seconds=elapsed, top=top)
+    def run_all_goals(self, goals=None, top_k: int = 1,
+                      jobs: int = None) -> dict:
+        """One *shared* traversal scoring every goal at once; returns
+        ``{goal: ExplorationResult}``.
 
-    def run_all_goals(self, goals=None) -> dict:
-        """One traversal per goal; returns {goal: ExplorationResult}."""
+        Each design point is enumerated and its cost predicted exactly
+        once — the per-goal reductions all consume the same stream —
+        instead of re-traversing the full space once per goal.
+        """
         if goals is None:
             goals = list(OptimizationGoal)
             if self.context.masking_order == 0:
                 goals = [g for g in goals if not g.needs_masking]
-        return {goal: self.run(goal) for goal in goals}
+        goals = tuple(goals)
+        with TELEMETRY.span("hades.exhaustive.run_all_goals",
+                            template=self.template.name,
+                            goals=len(goals)) as span:
+            return self._run_goals(goals, top_k, jobs, span)
+
+    def _run_goals(self, goals: tuple, top_k: int, jobs: int,
+                   span) -> dict:
+        started = time.perf_counter()
+        total = self.template.count_configurations()
+        jobs = resolve_jobs(jobs, work=total,
+                            min_work_per_job=MIN_CONFIGS_PER_JOB)
+        outputs = run_sharded(
+            _exhaustive_shard, (self.template, self.context, goals,
+                                top_k),
+            stride_shards(jobs), jobs=jobs)
+        feasible = sum(shard_feasible for shard_feasible, _ in outputs)
+        if feasible == 0:
+            raise InfeasibleConfiguration(
+                f"no feasible design for {self.template.name} in "
+                f"{self.context}")
+        elapsed = time.perf_counter() - started
+        if TELEMETRY.enabled:
+            span.set_attr("explored", total)
+            span.set_attr("feasible", feasible)
+            span.set_attr("jobs", jobs)
+            if elapsed > 0:
+                TELEMETRY.gauge("hades.evals_per_sec").set(
+                    feasible / elapsed)
+        results = {}
+        for position, goal in enumerate(goals):
+            best, top = _merge_goal(outputs, position, top_k)
+            results[goal] = ExplorationResult(
+                template_name=self.template.name, goal=goal, best=best,
+                explored=total, feasible=feasible, evaluations=feasible,
+                elapsed_seconds=elapsed, top=top, jobs=jobs)
+        return results
 
 
 def pareto_front(designs, include_randomness: bool = True) -> list:
@@ -128,8 +238,16 @@ def pareto_front(designs, include_randomness: bool = True) -> list:
     The paper's output is "a small set of implementations optimized
     towards one or more optimization goals" — the Pareto front is that
     set in one shot: every design not strictly worse than another in
-    all objectives.  O(n^2) sweep after an area sort; fine for the
-    library's spaces.
+    all objectives.
+
+    Single pass over the objective-sorted designs with a latency /
+    randomness staircase, O(n log n): a candidate is dominated exactly
+    when some already-kept point has latency and randomness no larger
+    (its area is no larger by sort order), and kept points maintain
+    latencies strictly ascending with randomness strictly descending so
+    that one bisect answers the query.  Designs with identical
+    objective vectors are all kept, matching the historical O(n^2)
+    sweep bit for bit (the property test pins the equivalence).
     """
     def key(design):
         metrics = design.metrics
@@ -140,24 +258,29 @@ def pareto_front(designs, include_randomness: bool = True) -> list:
 
     candidates = sorted(designs, key=key)
     front = []
-    for design in candidates:
-        dominated = False
-        design_key = key(design)
-        for kept in front:
-            kept_key = key(kept)
-            if all(a <= b for a, b in zip(kept_key, design_key)) and \
-                    any(a < b for a, b in zip(kept_key, design_key)):
-                dominated = True
-                break
+    lats, rands = [], []          # the kept-point staircase
+    index, total = 0, len(candidates)
+    while index < total:
+        design_key = key(candidates[index])
+        group_end = index
+        while group_end < total and \
+                key(candidates[group_end]) == design_key:
+            group_end += 1
+        latency = design_key[1]
+        randomness = design_key[2] if include_randomness else 0.0
+        # Rightmost kept latency <= ours carries the smallest
+        # randomness among all kept points at or below our latency.
+        pos = bisect.bisect_right(lats, latency)
+        dominated = pos > 0 and rands[pos - 1] <= randomness
         if not dominated:
-            # Drop earlier points this one dominates (possible only on
-            # exact ties in the sort prefix).
-            front = [kept for kept in front
-                     if not (all(a <= b for a, b in
-                                 zip(design_key, key(kept)))
-                             and any(a < b for a, b in
-                                     zip(design_key, key(kept))))]
-            front.append(design)
+            front.extend(candidates[index:group_end])
+            insert = bisect.bisect_left(lats, latency)
+            cut = insert
+            while cut < len(lats) and rands[cut] >= randomness:
+                cut += 1          # staircase points we now dominate
+            lats[insert:cut] = [latency]
+            rands[insert:cut] = [randomness]
+        index = group_end
     return front
 
 
@@ -192,6 +315,76 @@ def neighbours(template: Template, config: Configuration):
             yield _with_slot(config, slot_name, new_sub)
 
 
+def _memo_evaluate(template: Template, context: DesignContext,
+                   config: Configuration, memo: Memo):
+    """Evaluate through the bounded memo cache; ``None`` = infeasible
+    (cached too — repeated infeasibility is exactly the expensive
+    outcome on masked spaces)."""
+    found, metrics = memo.lookup(config)
+    if found:
+        return metrics
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("hades.evaluations").inc()
+    try:
+        metrics = template.evaluate(config, context)
+    except InfeasibleConfiguration:
+        metrics = None
+    memo.store(config, metrics)
+    return metrics
+
+
+def _descend(template: Template, context: DesignContext,
+             config: Configuration, goal: OptimizationGoal) -> tuple:
+    """Coordinate descent to a local optimum; returns
+    ``(config, metrics, evaluations, cache_hits)`` where evaluations
+    counts actual cost-function calls (memo misses)."""
+    memo = Memo()
+    metrics = _memo_evaluate(template, context, config, memo)
+    # A random start may be infeasible (e.g. LUT S-box while masked);
+    # walk to any feasible neighbour first.
+    attempts = 0
+    while metrics is None:
+        improved = False
+        for candidate in neighbours(template, config):
+            candidate_metrics = _memo_evaluate(template, context,
+                                               candidate, memo)
+            if candidate_metrics is not None:
+                config, metrics = candidate, candidate_metrics
+                improved = True
+                break
+        attempts += 1
+        if not improved or attempts > 100:
+            return None, None, memo.misses, memo.hits
+    score = goal.score(metrics)
+    while True:
+        best_neighbour = None
+        for candidate in neighbours(template, config):
+            candidate_metrics = _memo_evaluate(template, context,
+                                               candidate, memo)
+            if candidate_metrics is None:
+                continue
+            candidate_score = goal.score(candidate_metrics)
+            if candidate_score < score:
+                best_neighbour = (candidate, candidate_metrics)
+                score = candidate_score
+        if best_neighbour is None:
+            return config, metrics, memo.misses, memo.hits
+        config, metrics = best_neighbour
+
+
+def _local_search_shard(state, bounds) -> list:
+    """Run one contiguous block of independent random starts."""
+    template, context, goal, start_configs = state
+    lo, hi = bounds
+    results = []
+    for index in range(lo, hi):
+        with TELEMETRY.span("hades.local_search.descent", start=index):
+            config, metrics, evaluations, hits = _descend(
+                template, context, start_configs[index], goal)
+        results.append((index, config, metrics, evaluations, hits))
+    return results
+
+
 class LocalSearchExplorer:
     """Multi-start coordinate-descent DSE (the paper's heuristic mode)."""
 
@@ -202,80 +395,47 @@ class LocalSearchExplorer:
         self.context = context
         self.seed = seed
 
-    def _evaluate(self, config: Configuration):
-        if TELEMETRY.enabled:
-            TELEMETRY.counter("hades.evaluations").inc()
-        try:
-            return self.template.evaluate(config, self.context)
-        except InfeasibleConfiguration:
-            return None
-
-    def _descend(self, config: Configuration,
-                 goal: OptimizationGoal) -> tuple:
-        """Coordinate descent to a local optimum; returns
-        (config, metrics, evaluations)."""
-        evaluations = 0
-        metrics = self._evaluate(config)
-        evaluations += 1
-        # A random start may be infeasible (e.g. LUT S-box while masked);
-        # walk to any feasible neighbour first.
-        attempts = 0
-        while metrics is None:
-            improved = False
-            for candidate in neighbours(self.template, config):
-                candidate_metrics = self._evaluate(candidate)
-                evaluations += 1
-                if candidate_metrics is not None:
-                    config, metrics = candidate, candidate_metrics
-                    improved = True
-                    break
-            attempts += 1
-            if not improved or attempts > 100:
-                return None, None, evaluations
-        score = goal.score(metrics)
-        while True:
-            best_neighbour = None
-            for candidate in neighbours(self.template, config):
-                candidate_metrics = self._evaluate(candidate)
-                evaluations += 1
-                if candidate_metrics is None:
-                    continue
-                candidate_score = goal.score(candidate_metrics)
-                if candidate_score < score:
-                    best_neighbour = (candidate, candidate_metrics)
-                    score = candidate_score
-            if best_neighbour is None:
-                return config, metrics, evaluations
-            config, metrics = best_neighbour
-
-    def run(self, goal: OptimizationGoal,
-            starts: int = 50) -> ExplorationResult:
+    def run(self, goal: OptimizationGoal, starts: int = 50,
+            jobs: int = None) -> ExplorationResult:
         """Run ``starts`` random performance baselines (paper: "we obtain
         perfect results for Kyber-CCA for as few as 50 random
-        performance base-lines")."""
+        performance base-lines").
+
+        Every start is pre-drawn in the parent process from the single
+        seeded stream — the exact historical serial sequence — so
+        starts become independent work items the executor fans across
+        ``jobs`` workers with an identical best-by-(score, start index)
+        merge for any worker count.
+        """
         with TELEMETRY.span("hades.local_search.run",
                             template=self.template.name,
                             goal=goal.name, starts=starts) as span:
             started = time.perf_counter()
             rng = random.Random(self.seed)
+            start_configs = [self.template.random_configuration(rng)
+                             for _ in range(starts)]
+            jobs = resolve_jobs(jobs, work=starts,
+                                min_work_per_job=MIN_STARTS_PER_JOB)
+            outputs = run_sharded(
+                _local_search_shard,
+                (self.template, self.context, goal, start_configs),
+                chunk_bounds(starts, jobs), jobs=jobs)
             best = None
-            best_score = float("inf")
-            total_evaluations = 0
+            best_rank = None
             feasible = 0
-            for start_index in range(starts):
-                start = self.template.random_configuration(rng)
-                with TELEMETRY.span("hades.local_search.descent",
-                                    start=start_index):
-                    config, metrics, evaluations = self._descend(start,
-                                                                 goal)
-                total_evaluations += evaluations
-                if config is None:
-                    continue
-                feasible += 1
-                score = goal.score(metrics)
-                if score < best_score:
-                    best = EvaluatedDesign(config, metrics)
-                    best_score = score
+            total_evaluations = 0
+            cache_hits = 0
+            for shard in outputs:
+                for index, config, metrics, evaluations, hits in shard:
+                    total_evaluations += evaluations
+                    cache_hits += hits
+                    if config is None:
+                        continue
+                    feasible += 1
+                    rank = (goal.score(metrics), index)
+                    if best_rank is None or rank < best_rank:
+                        best = EvaluatedDesign(config, metrics)
+                        best_rank = rank
             if best is None:
                 raise InfeasibleConfiguration(
                     f"no feasible local optimum found for "
@@ -283,10 +443,13 @@ class LocalSearchExplorer:
             elapsed = time.perf_counter() - started
             if TELEMETRY.enabled:
                 span.set_attr("evaluations", total_evaluations)
+                span.set_attr("cache_hits", cache_hits)
+                span.set_attr("jobs", jobs)
                 if elapsed > 0:
                     TELEMETRY.gauge("hades.evals_per_sec").set(
                         total_evaluations / elapsed)
             return ExplorationResult(
                 template_name=self.template.name, goal=goal, best=best,
                 explored=total_evaluations, feasible=feasible,
-                evaluations=total_evaluations, elapsed_seconds=elapsed)
+                evaluations=total_evaluations, elapsed_seconds=elapsed,
+                jobs=jobs)

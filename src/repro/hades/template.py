@@ -165,7 +165,9 @@ class EvaluatedDesign:
     metrics: Metrics
 
 
-def enumerate_designs(template: Template, context: DesignContext):
+def enumerate_designs(template: Template, context: DesignContext,
+                      start: int = 0, stop: int = None, step: int = 1,
+                      with_index: bool = False):
     """Stream every feasible (configuration, metrics) of ``template``.
 
     Sub-template spaces are evaluated once and cached in full — the
@@ -173,11 +175,24 @@ def enumerate_designs(template: Template, context: DesignContext):
     million-point product space (Kyber-CCA) pays only one arithmetic
     cost call per point and the top level is never materialised.
     Infeasible configurations are skipped silently.
+
+    ``start`` / ``stop`` / ``step`` slice the *raw top-level
+    enumeration order* (before feasibility filtering) so parallel
+    shards can split one space without repeating cost calls: shard
+    ``k`` of ``J`` streams ``start=k, step=J`` and the union over all
+    shards is exactly the serial stream.  Skipped positions never
+    invoke the top-level cost function.  ``with_index=True``
+    additionally yields each design's raw enumeration index —
+    ``(index, design)`` — which shards use as the deterministic
+    tie-break so merged optima match serial first-encounter order.
     """
-    yield from _stream(template, context, {})
+    yield from _stream(template, context, {}, start, stop, step,
+                       with_index)
 
 
-def _stream(template: Template, context: DesignContext, cache: dict):
+def _stream(template: Template, context: DesignContext, cache: dict,
+            start: int = 0, stop: int = None, step: int = 1,
+            with_index: bool = False):
     """Lazily generate this template's designs; slots are materialised."""
     param_names = sorted(template.parameters)
     param_spaces = [template.parameters[name] for name in param_names]
@@ -188,21 +203,30 @@ def _stream(template: Template, context: DesignContext, cache: dict):
         for candidate in template.slots[slot_name]:
             sub_designs.extend(_materialise(candidate, context, cache))
         slot_spaces.append(sub_designs)
-    for param_combo in itertools.product(*param_spaces):
-        params = tuple(zip(param_names, param_combo))
-        param_dict = dict(params)
-        for slot_combo in itertools.product(*slot_spaces):
-            slots = tuple(
-                (name, design.configuration)
-                for name, design in zip(slot_names, slot_combo))
-            sub_metrics = {name: design.metrics
-                           for name, design in zip(slot_names, slot_combo)}
-            try:
-                metrics = template.cost(param_dict, sub_metrics, context)
-            except InfeasibleConfiguration:
-                continue
-            yield EvaluatedDesign(
-                Configuration(template.name, params, slots), metrics)
+    n_params = len(param_names)
+    # One flat product in the same nested order as the historical
+    # params-outer / slots-inner loops; islice makes index-range
+    # sharding skip combinations *before* any cost call.
+    combos = enumerate(itertools.product(*param_spaces, *slot_spaces))
+    last_param_combo = params = param_dict = None
+    for raw_index, combo in itertools.islice(combos, start, stop, step):
+        param_combo, slot_combo = combo[:n_params], combo[n_params:]
+        if param_combo != last_param_combo:
+            params = tuple(zip(param_names, param_combo))
+            param_dict = dict(params)
+            last_param_combo = param_combo
+        slots = tuple(
+            (name, design.configuration)
+            for name, design in zip(slot_names, slot_combo))
+        sub_metrics = {name: design.metrics
+                       for name, design in zip(slot_names, slot_combo)}
+        try:
+            metrics = template.cost(param_dict, sub_metrics, context)
+        except InfeasibleConfiguration:
+            continue
+        design = EvaluatedDesign(
+            Configuration(template.name, params, slots), metrics)
+        yield (raw_index, design) if with_index else design
 
 
 def _materialise(template: Template, context: DesignContext,

@@ -152,3 +152,56 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._instruments = {}
+
+    # -- worker shipping (the parallel executor's metrics merge) -----------
+
+    def mark(self) -> dict:
+        """A cheap position marker per instrument, for
+        :meth:`delta_since`: counter/gauge values, histogram lengths."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        marks = {}
+        for name, instrument in instruments.items():
+            if isinstance(instrument, Histogram):
+                marks[name] = instrument.count
+            else:
+                marks[name] = instrument.value
+        return marks
+
+    def delta_since(self, marks: dict) -> dict:
+        """What happened after ``marks`` as a picklable, JSON-native
+        payload a pool worker ships back to the parent process."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        delta = {}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Counter):
+                grown = instrument.value - marks.get(name, 0)
+                if grown > 0:
+                    delta[name] = {"type": "counter", "inc": grown}
+            elif isinstance(instrument, Gauge):
+                if name not in marks or \
+                        instrument.value != marks[name]:
+                    delta[name] = {"type": "gauge",
+                                   "value": instrument.value}
+            elif isinstance(instrument, Histogram):
+                samples = instrument.samples()[marks.get(name, 0):]
+                if samples:
+                    delta[name] = {"type": "histogram",
+                                   "samples": samples}
+        return delta
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta_since` payload into this
+        registry.  Counter increments and histogram samples are
+        commutative; gauges keep the last merged write."""
+        for name, record in (delta or {}).items():
+            kind = record.get("type")
+            if kind == "counter":
+                self.counter(name).inc(record["inc"])
+            elif kind == "gauge":
+                self.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                for sample in record["samples"]:
+                    histogram.observe(sample)

@@ -130,6 +130,19 @@ class PerfCounters:
     def delta_since(self, before: dict) -> PerfSnapshot:
         return self.snapshot() - before
 
+    def merge(self, delta: dict) -> None:
+        """Fold a worker's counter delta into this counter file.
+
+        Counter addition is commutative, so merging per-worker deltas
+        in any order yields the same totals as counting in-process —
+        the property the parallel-executor parity tests pin.
+        """
+        if not delta:
+            return
+        with self._lock:
+            for event, count in delta.items():
+                self._counts[event] = self._counts.get(event, 0) + count
+
 
 class CountingWindow:
     """Handle yielded by :func:`counting`: the delta since entry."""

@@ -181,3 +181,60 @@ class Tracer:
         """Drop collected spans (listeners are kept)."""
         with self._lock:
             self.finished = []
+
+    # -- worker shipping (the parallel executor's span merge) --------------
+
+    def finished_count(self) -> int:
+        with self._lock:
+            return len(self.finished)
+
+    def records_since(self, mark: int) -> list:
+        """Records of spans finished after ``mark`` (a prior
+        :meth:`finished_count` value) — what a pool worker ships back."""
+        with self._lock:
+            return [span.to_record() for span in self.finished[mark:]]
+
+    def merge_records(self, records: list, parent_id: int = None) -> int:
+        """Adopt spans shipped back from a worker process.
+
+        Every record gets a fresh span id from this tracer's counter so
+        worker-local ids (which restart per process) cannot collide;
+        parent links *within* the batch are remapped, and batch roots
+        are attached under ``parent_id`` (default: the caller's current
+        span, so worker spans nest where the fan-out happened).
+        Listeners are *not* replayed — merged spans are history, not
+        live span ends.  Returns the number of spans adopted.
+        """
+        if not records:
+            return 0
+        current = self.current_span()
+        if parent_id is None:
+            parent_id = current.span_id if current is not None else 0
+        base_depth = current.depth + 1 if current is not None else 0
+        mapping = {}
+        adopted = []
+        for record in records:
+            span = Span.from_record(record)
+            span.span_id = next(self._ids)
+            mapping[record["span_id"]] = span.span_id
+            adopted.append((record["parent_id"], span))
+        for original_parent, span in adopted:
+            remapped = mapping.get(original_parent)
+            # Workers start from a reset tracer, so their roots sit at
+            # depth 0 and the whole batch re-bases by the same offset.
+            span.parent_id = remapped if remapped is not None \
+                else parent_id
+            span.depth = base_depth + span.depth
+        with self._lock:
+            self.finished.extend(span for _, span in adopted)
+        return len(adopted)
+
+    def reset_worker(self) -> None:
+        """Make a freshly forked worker's tracer pristine: drop spans
+        inherited from the parent, the parent's open-span stack, and
+        any listeners (the parent's profiler must not run in workers)."""
+        with self._lock:
+            self.finished = []
+            self._listeners = []
+            self._start_listeners = []
+        self._local = threading.local()

@@ -1,0 +1,87 @@
+"""Worker-side observability capture and parent-side merge.
+
+A forked pool worker inherits the parent's :data:`~repro.obs.PERF`
+counter file, telemetry registry and tracer — including everything the
+parent already recorded.  :func:`worker_setup` (run once per worker
+process from the pool initializer) resets those inherited copies so the
+worker counts only its own activity; :func:`capture_begin` /
+:func:`capture_end` then bracket each *task* (a pool worker serves many
+tasks) and produce a small picklable payload; :func:`merge_capture`
+folds that payload back into the parent's facades.
+
+The merge obeys the determinism contract of the executor: counter
+increments and histogram samples are commutative, payloads are merged
+in shard-index order, and span batches are re-parented under the span
+that fanned the work out — so enabled-observability totals are
+identical for any worker count, which the parity tests assert.
+"""
+
+from __future__ import annotations
+
+from ..obs.perf import PERF
+from ..obs.telemetry import TELEMETRY
+
+
+def worker_setup() -> None:
+    """Reset fork-inherited observability state in a new pool worker.
+
+    Drops inherited perf counts, metric values, finished spans, the
+    parent's open-span stack *and* tracer listeners (the parent's
+    profiler must not run inside workers).  Switch states (enabled /
+    disabled) are deliberately kept — they are how the parent tells
+    workers whether to count at all.
+    """
+    PERF.reset()
+    TELEMETRY.metrics.clear()
+    TELEMETRY.tracer.reset_worker()
+
+
+def capture_begin():
+    """Mark the observability position at the start of one task."""
+    if not (PERF.enabled or TELEMETRY.enabled):
+        return None
+    return {
+        "perf": PERF.snapshot() if PERF.enabled else None,
+        "metrics": TELEMETRY.metrics.mark() if TELEMETRY.enabled
+        else None,
+        "spans": TELEMETRY.tracer.finished_count()
+        if TELEMETRY.enabled else 0,
+    }
+
+
+def capture_end(mark) -> dict:
+    """Everything observable that happened since ``mark``, as plain
+    picklable data (dicts, lists, numbers) — ``None`` when nothing is
+    enabled."""
+    if mark is None:
+        return None
+    capture = {}
+    if mark["perf"] is not None:
+        delta = PERF.snapshot() - mark["perf"]
+        if delta:
+            capture["perf"] = dict(delta)
+    if mark["metrics"] is not None:
+        delta = TELEMETRY.metrics.delta_since(mark["metrics"])
+        if delta:
+            capture["metrics"] = delta
+        spans = TELEMETRY.tracer.records_since(mark["spans"])
+        if spans:
+            capture["spans"] = spans
+    return capture or None
+
+
+def merge_capture(capture) -> None:
+    """Fold one worker task's capture into the parent-process facades."""
+    if not capture:
+        return
+    perf = capture.get("perf")
+    if perf and PERF.enabled:
+        PERF.merge(perf)
+    if not TELEMETRY.enabled:
+        return
+    metrics = capture.get("metrics")
+    if metrics:
+        TELEMETRY.metrics.merge_delta(metrics)
+    spans = capture.get("spans")
+    if spans:
+        TELEMETRY.tracer.merge_records(spans)

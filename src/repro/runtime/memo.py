@@ -1,0 +1,72 @@
+"""Bounded evaluation memoization for revisited design points.
+
+Coordinate descent re-scores the same neighbours over and over: moving
+along parameter ``a`` re-evaluates every value of ``b`` it already
+scored one sweep earlier.  :class:`Memo` is a small bounded LRU map
+from a canonical, hashable key (a frozen
+:class:`~repro.hades.template.Configuration` hashes structurally) to a
+computed value, with hit/miss/eviction accounting so callers can report
+how much work the cache removed.
+
+``None`` is a legal cached value — the explorers cache *infeasibility*
+too, which is exactly the expensive repeated outcome on masked spaces —
+so lookups go through :meth:`lookup`'s ``(found, value)`` pair rather
+than a sentinel-default ``get``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: Default capacity: comfortably above any library template's neighbour
+#: churn while keeping worst-case memory at laptop scale.
+DEFAULT_MAXSIZE = 65536
+
+
+class Memo:
+    """A bounded least-recently-used ``key -> value`` cache."""
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def lookup(self, key) -> tuple:
+        """``(True, value)`` on a hit — refreshing recency — else
+        ``(False, None)``; counts the access either way."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def store(self, key, value) -> None:
+        """Insert (or refresh) ``key``; evicts the least recently used
+        entry when full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {"size": len(self._entries), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

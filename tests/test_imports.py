@@ -25,8 +25,8 @@ TOP_PACKAGES = sorted({name.split(".")[1] for name in ALL_MODULES
 
 def test_every_expected_subpackage_present():
     assert TOP_PACKAGES == ["cim", "compsoc", "core", "crypto",
-                            "faults", "hades", "obs", "rtos", "soc",
-                            "tee"]
+                            "faults", "hades", "obs", "rtos",
+                            "runtime", "soc", "tee"]
 
 
 @pytest.mark.parametrize("name", ALL_MODULES)

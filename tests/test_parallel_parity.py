@@ -1,0 +1,235 @@
+"""Serial/parallel equivalence suite (ISSUE 4 determinism contract).
+
+``jobs=1`` and ``jobs=N`` must be the same function: identical DSE
+optima and top-k rankings for every library algorithm, byte-identical
+campaign JSON, and identical merged observability totals.  These tests
+force the parallel path with explicit ``jobs=`` so they exercise real
+worker pools even on small spaces and single-CPU machines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.campaign import standard_campaign
+from repro.hades.explorer import (ExhaustiveExplorer,
+                                  LocalSearchExplorer, pareto_front)
+from repro.hades.library import TABLE_I_ROWS, aes256, adder_mod_q, keccak
+from repro.hades.metrics import Metrics, OptimizationGoal
+from repro.hades.template import DesignContext
+from repro.obs import TELEMETRY
+from repro.obs.perf import PERF
+from repro.runtime import fork_available
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="parallel path needs fork")
+
+ALGORITHMS = {name: factory for name, factory, _ in TABLE_I_ROWS}
+
+
+@pytest.fixture
+def enabled_obs():
+    was_perf, was_tel = PERF.enabled, TELEMETRY.enabled
+    PERF.enable()
+    PERF.reset()
+    TELEMETRY.enable()
+    TELEMETRY.reset()
+    yield
+    PERF.reset()
+    TELEMETRY.reset()
+    PERF.enabled, TELEMETRY.enabled = was_perf, was_tel
+
+
+def _configs(designs):
+    return [design.configuration for design in designs]
+
+
+class TestExhaustiveParity:
+    """Sharded traversal == serial traversal, for every Table I space."""
+
+    _cache = {}
+
+    @classmethod
+    def _run(cls, name, jobs):
+        key = (name, jobs)
+        if key not in cls._cache:
+            explorer = ExhaustiveExplorer(ALGORITHMS[name]())
+            cls._cache[key] = explorer.run(
+                OptimizationGoal.AREA_LATENCY, top_k=5, jobs=jobs)
+        return cls._cache[key]
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_identical_to_serial(self, name, jobs):
+        serial = self._run(name, 1)
+        parallel = self._run(name, jobs)
+        assert parallel.best.configuration == serial.best.configuration
+        assert parallel.best.metrics == serial.best.metrics
+        assert _configs(parallel.top) == _configs(serial.top)
+        assert parallel.feasible == serial.feasible
+        assert parallel.explored == serial.explored
+        assert parallel.jobs == jobs
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_top_zero_is_best(self, name):
+        result = self._run(name, 1)
+        assert result.top[0].configuration == result.best.configuration
+        assert result.top[0].metrics == result.best.metrics
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_top_k_sorted_by_full_rank(self, name):
+        """The ranking key is (goal, ALP, area), not just the goal
+        score — ties inside the top-k are deterministically ordered."""
+        result = self._run(name, 1)
+        goal = OptimizationGoal.AREA_LATENCY
+        keys = [(goal.score(d.metrics), d.metrics.area_latency_product,
+                 d.metrics.area_kge) for d in result.top]
+        assert keys == sorted(keys)
+
+
+class TestRunAllGoalsParity:
+    def test_parallel_matches_serial(self):
+        explorer = ExhaustiveExplorer(adder_mod_q(),
+                                      DesignContext(masking_order=1))
+        serial = explorer.run_all_goals(top_k=3, jobs=1)
+        parallel = explorer.run_all_goals(top_k=3, jobs=4)
+        assert set(serial) == set(parallel) == set(OptimizationGoal)
+        for goal in serial:
+            assert serial[goal].best.configuration == \
+                parallel[goal].best.configuration
+            assert _configs(serial[goal].top) == \
+                _configs(parallel[goal].top)
+
+    def test_single_traversal_cost(self, enabled_obs):
+        """All goals score in ONE pass: the evaluation counter equals
+        the feasible count, not goals x feasible."""
+        explorer = ExhaustiveExplorer(adder_mod_q(),
+                                      DesignContext(masking_order=1))
+        results = explorer.run_all_goals()
+        feasible = next(iter(results.values())).feasible
+        assert len(results) == len(OptimizationGoal) > 1
+        assert TELEMETRY.metrics_snapshot()[
+            "hades.evaluations"]["value"] == feasible
+
+    def test_goal_results_match_individual_runs(self):
+        explorer = ExhaustiveExplorer(keccak())
+        combined = explorer.run_all_goals(top_k=3)
+        for goal, result in combined.items():
+            alone = explorer.run(goal, top_k=3)
+            assert result.best.configuration == alone.best.configuration
+            assert _configs(result.top) == _configs(alone.top)
+
+
+class TestLocalSearchParity:
+    @pytest.mark.parametrize("factory,context,seed", [
+        (keccak, DesignContext(masking_order=1), 7),
+        (aes256, DesignContext(), 3),
+    ])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_identical_to_serial(self, factory, context, seed, jobs):
+        def run(n):
+            return LocalSearchExplorer(factory(), context, seed=seed) \
+                .run(OptimizationGoal.AREA_LATENCY, starts=8, jobs=n)
+
+        serial, parallel = run(1), run(jobs)
+        assert parallel.best.configuration == serial.best.configuration
+        assert parallel.best.metrics == serial.best.metrics
+        assert parallel.evaluations == serial.evaluations
+        assert parallel.feasible == serial.feasible
+
+
+class TestCampaignParity:
+    def test_canonical_json_byte_identical(self):
+        serial = standard_campaign(seed=11, injections=60, jobs=1)
+        for jobs in (2, 4):
+            parallel = standard_campaign(seed=11, injections=60,
+                                         jobs=jobs)
+            assert parallel.canonical_json() == serial.canonical_json()
+
+    def test_observability_totals_identical(self, enabled_obs):
+        def run(jobs):
+            PERF.reset()
+            TELEMETRY.reset()
+            result = standard_campaign(seed=11, injections=48,
+                                       jobs=jobs)
+            perf = dict(PERF.snapshot())
+            perf.pop("runtime.pools", None)
+            perf.pop("runtime.shards", None)
+            counters = {
+                name: snap["value"]
+                for name, snap in TELEMETRY.metrics_snapshot().items()
+                if snap.get("type") == "counter"}
+            hist = TELEMETRY.metrics_snapshot()["faults.fired_per_run"]
+            run_spans = sum(1 for r in TELEMETRY.tracer.snapshot()
+                            if r["name"] == "faults.campaign.run")
+            return (result.canonical_json(), perf, counters,
+                    hist["count"], hist["sum"], run_spans)
+
+        assert run(1) == run(4)
+
+
+def _reference_pareto(designs, include_randomness=True):
+    """The historical O(n^2) implementation, kept verbatim as the
+    semantic reference the staircase sweep must match bit for bit."""
+    def key(design):
+        metrics = design.metrics
+        objectives = [metrics.area_kge, metrics.latency_cc]
+        if include_randomness:
+            objectives.append(metrics.randomness_bits)
+        return tuple(objectives)
+
+    candidates = sorted(designs, key=key)
+    front = []
+    for design in candidates:
+        dominated = False
+        design_key = key(design)
+        for kept in front:
+            kept_key = key(kept)
+            if all(a <= b for a, b in zip(kept_key, design_key)) and \
+                    any(a < b for a, b in zip(kept_key, design_key)):
+                dominated = True
+                break
+        if not dominated:
+            front = [kept for kept in front
+                     if not (all(a <= b for a, b in
+                                 zip(design_key, key(kept)))
+                             and any(a < b for a, b in
+                                     zip(design_key, key(kept))))]
+            front.append(design)
+    return front
+
+
+class _Point:
+    """Minimal design stand-in for property testing pareto_front."""
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+
+# Small integer grids force heavy ties — the regime where a sweep
+# rewrite is most likely to diverge from the quadratic reference.
+_metric = st.builds(
+    Metrics,
+    area_kge=st.integers(0, 5).map(float),
+    latency_cc=st.integers(0, 5).map(float),
+    randomness_bits=st.integers(0, 3).map(float))
+
+
+class TestParetoSweepMatchesReference:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_metric, max_size=40), st.booleans())
+    def test_equivalent_to_quadratic_reference(self, metrics, flag):
+        points = [_Point(m) for m in metrics]
+        new = pareto_front(points, include_randomness=flag)
+        old = _reference_pareto(points, include_randomness=flag)
+        assert [p.metrics for p in new] == [p.metrics for p in old]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_metric, max_size=30))
+    def test_duplicates_all_kept(self, metrics):
+        points = [_Point(m) for m in metrics for _ in range(2)]
+        new = pareto_front(points)
+        old = _reference_pareto(points)
+        assert [p.metrics for p in new] == [p.metrics for p in old]
