@@ -56,8 +56,12 @@ def test_pq_boot_and_attestation(benchmark):
                                               iterations=1)
     counters = window.delta()
     # The architectural events behind the Table III deltas: the PQ
-    # boot/attest path must actually invoke ML-DSA and the SM signer.
+    # boot/attest path must actually invoke ML-DSA and the SM signer,
+    # and the kernel-level counters under them must attribute the
+    # lattice and curve work (memo hits replay the same deltas).
     assert counters["crypto.mldsa.sign"] >= 1
+    assert counters["crypto.mldsa.ntt_calls"] > 0
+    assert counters["crypto.ed25519.point_adds"] > 0
     assert counters["tee.sm.signs"] >= 1
     assert counters["tee.bootrom.measurements"] >= 1
     encoded = report.encode()

@@ -21,7 +21,8 @@ REPRO_TELEMETRY=1 REPRO_PERF=1 python -m pytest -q \
     benchmarks/bench_fig3_rtos_pmp.py \
     benchmarks/bench_framework.py \
     benchmarks/bench_fault_campaign.py \
-    benchmarks/bench_table1_dse_runtime.py
+    benchmarks/bench_table1_dse_runtime.py \
+    benchmarks/bench_crypto_primitives.py
 
 echo "== fault campaign summary =="
 python scripts/fault_report.py benchmarks/results/fault_campaign.json \

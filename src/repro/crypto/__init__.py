@@ -12,12 +12,17 @@ implemented from scratch in pure Python:
 * :mod:`~repro.crypto.kdf` — SHAKE256 key derivation
 
 These are behavioural references for the simulator, not hardened
-constant-time implementations.
+constant-time implementations.  The hot paths — the unrolled
+Keccak-f[1600], windowed Ed25519 scalar multiplication, keyed ML-DSA
+signing/verification contexts on batched int64 numpy NTT kernels, and
+AES T-tables — are pinned byte-identical to retained loop-form
+references by KAT and hypothesis parity suites
+(``tests/test_crypto_fastpaths.py``).
 """
 
 from .keccak import sha3_256, sha3_512, shake128, shake256
 from .aes import AES, aes_ctr, open_aead, seal_aead
-from .ed25519 import Ed25519KeyPair
+from .ed25519 import Ed25519KeyPair, SigningKey
 from .mldsa import ML_DSA_44, ML_DSA_65, ML_DSA_87, MLDSA
 from .mlkem import ML_KEM_512, ML_KEM_768, ML_KEM_1024, MLKEM
 from .hybrid import HybridKeyPair, HybridPublicKey
@@ -26,7 +31,7 @@ from .kdf import derive_key, derive_seed_pair
 __all__ = [
     "sha3_256", "sha3_512", "shake128", "shake256",
     "AES", "aes_ctr", "seal_aead", "open_aead",
-    "Ed25519KeyPair",
+    "Ed25519KeyPair", "SigningKey",
     "MLDSA", "ML_DSA_44", "ML_DSA_65", "ML_DSA_87",
     "MLKEM", "ML_KEM_512", "ML_KEM_768", "ML_KEM_1024",
     "HybridKeyPair", "HybridPublicKey",

@@ -9,6 +9,11 @@ The S-box and its inverse are derived programmatically from the GF(2^8)
 inversion + affine transform definition rather than transcribed, so a typo
 cannot silently corrupt the cipher; FIPS 197 known-answer vectors are
 enforced in the test suite.
+
+Encryption runs on 32-bit T-tables (SubBytes fused with MixColumns,
+derived from the generated S-box) with the whole CTR keystream XORed as
+one bignum; :meth:`AES.encrypt_block_reference` keeps the schoolbook
+round the fast path is pinned against.
 """
 
 from __future__ import annotations
@@ -70,6 +75,31 @@ def _build_sbox() -> tuple:
 SBOX = _build_sbox()
 INV_SBOX = tuple(SBOX.index(i) for i in range(256))
 
+
+def _build_t_tables() -> tuple:
+    """The four 32-bit T-tables fusing SubBytes with MixColumns.
+
+    ``T{r}[x]`` is the contribution of input byte ``x`` arriving in row
+    ``r`` of a column, packed little-endian (row 0 in the low byte), so
+    an encrypt round is four table lookups + XORs per column.
+    """
+    t0 = []
+    t1 = []
+    t2 = []
+    t3 = []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = _xtime(s)
+        s3 = s2 ^ s
+        t0.append(s2 | (s << 8) | (s << 16) | (s3 << 24))
+        t1.append(s3 | (s2 << 8) | (s << 16) | (s << 24))
+        t2.append(s | (s3 << 8) | (s2 << 16) | (s << 24))
+        t3.append(s | (s << 8) | (s3 << 16) | (s2 << 24))
+    return tuple(t0), tuple(t1), tuple(t2), tuple(t3)
+
+
+_T0, _T1, _T2, _T3 = _build_t_tables()
+
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
          0x6C, 0xD8, 0xAB, 0x4D)
 
@@ -89,6 +119,11 @@ class AES:
         self.key = bytes(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
         self._round_keys = self._expand_key(key)
+        # Round keys as packed 32-bit column words for the T-table path.
+        self._round_key_words = [
+            tuple(int.from_bytes(bytes(rk[4 * c:4 * c + 4]), "little")
+                  for c in range(4))
+            for rk in self._round_keys]
 
     def _expand_key(self, key: bytes) -> list:
         nk = len(key) // 4
@@ -157,7 +192,9 @@ class AES:
                                 ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14))
         return out
 
-    def encrypt_block(self, block: bytes) -> bytes:
+    def encrypt_block_reference(self, block: bytes) -> bytes:
+        """Schoolbook SubBytes/ShiftRows/MixColumns encryption — the
+        retained reference the T-table path is pinned against."""
         if len(block) != 16:
             raise ValueError("AES block must be 16 bytes")
         state = list(block)
@@ -171,6 +208,43 @@ class AES:
         state = self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self.rounds])
         return bytes(state)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        words = self._round_key_words
+        w0 = words[0]
+        c0 = int.from_bytes(block[0:4], "little") ^ w0[0]
+        c1 = int.from_bytes(block[4:8], "little") ^ w0[1]
+        c2 = int.from_bytes(block[8:12], "little") ^ w0[2]
+        c3 = int.from_bytes(block[12:16], "little") ^ w0[3]
+        for r in range(1, self.rounds):
+            wr = words[r]
+            n0 = (t0[c0 & 255] ^ t1[(c1 >> 8) & 255]
+                  ^ t2[(c2 >> 16) & 255] ^ t3[c3 >> 24] ^ wr[0])
+            n1 = (t0[c1 & 255] ^ t1[(c2 >> 8) & 255]
+                  ^ t2[(c3 >> 16) & 255] ^ t3[c0 >> 24] ^ wr[1])
+            n2 = (t0[c2 & 255] ^ t1[(c3 >> 8) & 255]
+                  ^ t2[(c0 >> 16) & 255] ^ t3[c1 >> 24] ^ wr[2])
+            n3 = (t0[c3 & 255] ^ t1[(c0 >> 8) & 255]
+                  ^ t2[(c1 >> 16) & 255] ^ t3[c2 >> 24] ^ wr[3])
+            c0, c1, c2, c3 = n0, n1, n2, n3
+        # Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        rk = self._round_keys[self.rounds]
+        sbox = SBOX
+        cols = (c0, c1, c2, c3)
+        out = bytearray(16)
+        for col in range(4):
+            base = 4 * col
+            out[base] = sbox[cols[col] & 255] ^ rk[base]
+            out[base + 1] = \
+                sbox[(cols[(col + 1) & 3] >> 8) & 255] ^ rk[base + 1]
+            out[base + 2] = \
+                sbox[(cols[(col + 2) & 3] >> 16) & 255] ^ rk[base + 2]
+            out[base + 3] = \
+                sbox[cols[(col + 3) & 3] >> 24] ^ rk[base + 3]
+        return bytes(out)
 
     def decrypt_block(self, block: bytes) -> bytes:
         if len(block) != 16:
@@ -197,13 +271,15 @@ def aes_ctr(key: bytes, nonce: bytes, data: bytes) -> bytes:
     if len(nonce) != 12:
         raise ValueError("CTR nonce must be 12 bytes")
     cipher = AES(key)
-    out = bytearray()
-    for block_index in range((len(data) + 15) // 16):
-        counter_block = nonce + block_index.to_bytes(4, "big")
-        keystream = cipher.encrypt_block(counter_block)
-        chunk = data[16 * block_index:16 * block_index + 16]
-        out.extend(c ^ k for c, k in zip(chunk, keystream))
-    return bytes(out)
+    encrypt = cipher.encrypt_block
+    size = len(data)
+    keystream = b"".join(
+        encrypt(nonce + i.to_bytes(4, "big"))
+        for i in range((size + 15) // 16))
+    # XOR the whole stream in one bignum operation.
+    stream = int.from_bytes(data, "little") \
+        ^ int.from_bytes(keystream[:size], "little")
+    return stream.to_bytes(size, "little")
 
 
 MAC_LEN = 32

@@ -9,14 +9,39 @@ homogeneous coordinates; SHA-512 from the standard library (the from-
 scratch hashing effort of this project is Keccak, see
 :mod:`repro.crypto.keccak`).  Not constant-time — it is a behavioural
 model for the TEE simulator, not production crypto.
+
+Hot paths use windowed arithmetic (pinned bit-equal to the bitwise
+double-and-add reference by hypothesis property tests):
+
+* fixed-base multiplication walks a lazily built 4-bit comb table of
+  ``d * 16^i * B`` multiples in Niels form (affine ``(y+x, y-x, 2dt)``
+  triples, batch-normalized with one field inversion) — ~64 cheap
+  additions and zero doublings per ``k * B``,
+* verification runs one Straus/Shamir double-scalar multiplication:
+  ``s*B - k*A`` interleaved over a shared doubling chain with wNAF
+  digits (width 7 for the fixed base, width 5 for ``A``),
+* doubling uses the dedicated extended-coordinate formula
+  (:func:`_point_double`, 4M+4S) split out of the general addition,
+  and skips the ``T`` product when the next operation is another
+  doubling.
+
+:class:`SigningKey` caches the expensive per-secret state (clamped
+scalar, prefix, compressed public key) so repeated signatures — the SM
+re-attesting, the bootrom re-certifying — skip the key-derivation
+scalar multiplication entirely.  Building precomputed state is *not*
+charged to the ``crypto.ed25519.point_adds`` PERF counter; only
+per-operation online work is, so counter totals stay independent of
+cache warmth (the ISSUE 4 parallel-parity contract).
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 
 from ..obs import TELEMETRY
 from ..obs.perf import PERF
+from ..runtime.memo import Memo
 
 P = 2 ** 255 - 19
 L = 2 ** 252 + 27742317777372353535851937790883648493
@@ -50,7 +75,35 @@ def _point_add(p, q):
     return (e * f % P, g * h % P, f * g % P, e * h % P)
 
 
+def _point_double(p, need_t: bool = True):
+    """Dedicated extended-coordinate doubling (dbl-2008-hwcd, a = -1).
+
+    4 multiplications + 4 squarings against the general addition's 9
+    multiplications; produces the same projective point ``2p`` (any
+    representative — compression normalizes by 1/Z).  ``need_t=False``
+    skips the ``T`` product — valid only when the next operation is
+    another doubling, which never reads ``T``.
+    """
+    x1, y1, z1 = p[0], p[1], p[2]
+    a = x1 * x1 % P
+    b = y1 * y1 % P
+    c = 2 * z1 * z1 % P
+    e = ((x1 + y1) * (x1 + y1) - a - b) % P
+    g = b - a                    # a*A + B with a = -1
+    f = g - c
+    h = -a - b                   # a*A - B
+    return (e * f % P, g * h % P, f * g % P,
+            e * h % P if need_t else 0)
+
+
+def _point_negate(p):
+    x, y, z, t = p
+    return (-x % P, y, z, -t % P)
+
+
 def _point_mul(scalar: int, point):
+    """Bitwise double-and-add — the retained semantic reference the
+    windowed paths are pinned against by the parity suite."""
     result = _IDENTITY
     addend = point
     while scalar:
@@ -90,6 +143,260 @@ _BASE_X = _recover_x(_BASE_Y, 0)
 BASE_POINT = (_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % P)
 
 
+# -- precomputed-form arithmetic --------------------------------------------
+#
+# Niels form: an *affine* precomputed point stored as (y+x, y-x, 2dt).
+# Adding one to an extended point costs 7 multiplications (vs 9 for the
+# general addition).  Cached form is the projective analogue
+# (y+x, y-x, 2dt, 2z) for runtime points whose Z is not 1.
+
+
+def _add_niels(p, n):
+    x1, y1, z1, t1 = p
+    yp, ym, t2d = n
+    a = (y1 - x1) * ym % P
+    b = (y1 + x1) * yp % P
+    c = t1 * t2d % P
+    d = z1 + z1
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _neg_niels(n):
+    yp, ym, t2d = n
+    return (ym, yp, -t2d % P)
+
+
+def _to_cached(p):
+    x, y, z, t = p
+    return ((y + x) % P, (y - x) % P, 2 * t * D % P, z + z)
+
+
+def _add_cached(p, q):
+    x1, y1, z1, t1 = p
+    yp, ym, t2d, z2x2 = q
+    a = (y1 - x1) * ym % P
+    b = (y1 + x1) * yp % P
+    c = t1 * t2d % P
+    d = z1 * z2x2 % P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _neg_cached(q):
+    yp, ym, t2d, z2x2 = q
+    return (ym, yp, -t2d % P, z2x2)
+
+
+def _batch_niels(points) -> list:
+    """Normalize extended points to Niels form with ONE field inversion
+    (Montgomery's simultaneous-inversion trick)."""
+    zs = [p[2] for p in points]
+    prefix = [1] * (len(zs) + 1)
+    for i, z in enumerate(zs):
+        prefix[i + 1] = prefix[i] * z % P
+    inv_acc = _inv(prefix[-1])
+    out = [None] * len(points)
+    for i in range(len(points) - 1, -1, -1):
+        zinv = prefix[i] * inv_acc % P
+        inv_acc = inv_acc * zs[i] % P
+        x = points[i][0] * zinv % P
+        y = points[i][1] * zinv % P
+        out[i] = ((y + x) % P, (y - x) % P, 2 * D * x * y % P)
+    return out
+
+
+#: Comb window width (bits) for fixed-base multiplication.
+_WINDOW = 4
+_WINDOWS = 256 // _WINDOW
+#: wNAF widths for the Straus chain (fixed base / variable point).
+_WNAF_BASE = 7
+_WNAF_POINT = 5
+
+_PRECOMP = None
+
+
+def _precomp():
+    """Lazily built fixed-base tables, batch-normalized to Niels form.
+
+    ``comb[i][d - 1] == d * 16^i * B`` for ``d`` in 1..15 (any scalar
+    below 2^256 is one addition per nonzero 4-bit digit, no doublings)
+    and ``odd[j] == (2j + 1) * B`` up to 2^_WNAF_BASE - 1 for the
+    verify chain.  Built once per process with uncounted additions
+    (precomputation, not per-operation work).
+    """
+    global _PRECOMP
+    if _PRECOMP is None:
+        raw = []
+        row_base = BASE_POINT
+        for _ in range(_WINDOWS):
+            row = [row_base]
+            for _ in range(14):
+                row.append(_point_add(row[-1], row_base))
+            raw.extend(row)
+            row_base = _point_add(row[-1], row_base)
+        base2 = _point_double(BASE_POINT)
+        odd = [BASE_POINT]
+        for _ in range((1 << (_WNAF_BASE - 1)) // 2 - 1):
+            odd.append(_point_add(odd[-1], base2))
+        niels = _batch_niels(raw + odd)
+        comb = tuple(tuple(niels[15 * i:15 * i + 15])
+                     for i in range(_WINDOWS))
+        _PRECOMP = (comb, tuple(niels[15 * _WINDOWS:]))
+    return _PRECOMP
+
+
+def _comb(scalar: int):
+    """Uncounted comb-table walk: ``(scalar * B, additions used)``."""
+    comb_table, _ = _precomp()
+    result = _IDENTITY
+    adds = 0
+    index = 0
+    while scalar:
+        digit = scalar & 15
+        if digit:
+            result = _add_niels(result, comb_table[index][digit - 1])
+            adds += 1
+        scalar >>= 4
+        index += 1
+    return result, adds
+
+
+def _point_mul_base(scalar: int):
+    """``scalar * B`` via the comb table (``0 <= scalar < 2^256``)."""
+    result, adds = _comb(scalar)
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.point_adds", adds)
+    return result
+
+
+def _wnaf(scalar: int, width: int) -> list:
+    """Width-``w`` non-adjacent form, least-significant digit first;
+    digits are zero or odd in ``(-2^(w-1), 2^(w-1))``."""
+    digits = []
+    span = 1 << width
+    half = span >> 1
+    while scalar:
+        if scalar & 1:
+            digit = scalar & (span - 1)
+            if digit >= half:
+                digit -= span
+            scalar -= digit
+            digits.append(digit)
+        else:
+            digits.append(0)
+        scalar >>= 1
+    return digits
+
+
+def _point_table(point) -> list:
+    """Cached-form odd multiples ``1, 3, .., 2^w - 1`` of ``point``.
+
+    Table construction is precomputation (uncounted, like the comb
+    table): verification memoizes it per public key, and counter totals
+    must not depend on cache warmth.
+    """
+    point2 = _point_double(point)
+    cur = point
+    table = [_to_cached(point)]
+    for _ in range((1 << (_WNAF_POINT - 1)) // 2 - 1):
+        cur = _point_add(cur, point2)
+        table.append(_to_cached(cur))
+    return table
+
+
+def _double_scalar_mul(s: int, k: int, point, point_table=None):
+    """``s * B + k * point`` by Straus/Shamir interleaving.
+
+    One shared doubling chain over wNAF digits of both scalars; the
+    ``B`` digits index the fixed odd-multiple Niels table, the
+    ``point`` digits ``point_table`` (built on the fly when not
+    supplied).  Doublings skip the ``T`` product whenever both digits
+    at a position are zero.
+    """
+    _, odd_base = _precomp()
+    if point_table is None:
+        point_table = _point_table(point)
+    adds = 0
+    s_digits = _wnaf(s, _WNAF_BASE)
+    k_digits = _wnaf(k, _WNAF_POINT)
+    n_s, n_k = len(s_digits), len(k_digits)
+    # Event positions (nonzero digit somewhere), highest first; runs of
+    # all-zero positions between events become tight doubling loops.
+    events = [i for i in range(max(n_s, n_k) - 1, -1, -1)
+              if (i < n_s and s_digits[i]) or (i < n_k and k_digits[i])]
+    result = _IDENTITY
+    position = events[0] if events else 0
+    for i in events:
+        runs = position - i
+        if runs:
+            # Inline doublings: only the last one in the run feeds an
+            # addition, so only it needs the T product.
+            x1, y1, z1, _ = result
+            for _ in range(runs - 1):
+                a = x1 * x1 % P
+                b = y1 * y1 % P
+                c = 2 * z1 * z1 % P
+                e = ((x1 + y1) * (x1 + y1) - a - b) % P
+                g = b - a
+                f = g - c
+                x1, y1, z1 = e * f % P, g * (-a - b) % P, f * g % P
+            result = _point_double((x1, y1, z1, 0))
+        ds = s_digits[i] if i < n_s else 0
+        if ds:
+            entry = odd_base[ds >> 1] if ds > 0 else \
+                _neg_niels(odd_base[(-ds) >> 1])
+            result = _add_niels(result, entry)
+            adds += 1
+        dk = k_digits[i] if i < n_k else 0
+        if dk:
+            entry = point_table[dk >> 1] if dk > 0 else \
+                _neg_cached(point_table[(-dk) >> 1])
+            result = _add_cached(result, entry)
+            adds += 1
+        position = i
+    # Horner tail: the lowest event sits at bit ``position``; finish
+    # with that many doublings (T needed only on the last).
+    if position:
+        x1, y1, z1, _ = result
+        for _ in range(position - 1):
+            a = x1 * x1 % P
+            b = y1 * y1 % P
+            c = 2 * z1 * z1 % P
+            e = ((x1 + y1) * (x1 + y1) - a - b) % P
+            g = b - a
+            f = g - c
+            x1, y1, z1 = e * f % P, g * (-a - b) % P, f * g % P
+        result = _point_double((x1, y1, z1, 0))
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.point_adds", adds)
+    return result
+
+
+#: Per-public-key verification state: the wNAF odd-multiple table of
+#: ``-A``.  Attestation verifies the same handful of device / SM keys
+#: thousands of times, so the decompression square root and the table
+#: build are paid once per key.  ``None`` caches an invalid encoding.
+_VERIFY_MEMO = Memo(maxsize=256)
+_VERIFY_LOCK = threading.Lock()
+
+
+def _verify_table(public: bytes):
+    """Memoized cached-form odd multiples of ``-A`` for a compressed
+    public key; ``None`` when the encoding is invalid."""
+    with _VERIFY_LOCK:
+        found, table = _VERIFY_MEMO.lookup(public)
+    if found:
+        return table
+    try:
+        table = _point_table(_point_negate(_decompress(public)))
+    except ValueError:
+        table = None
+    with _VERIFY_LOCK:
+        _VERIFY_MEMO.store(bytes(public), table)
+    return table
+
+
 def _compress(point) -> bytes:
     x, y, z, _ = point
     zinv = _inv(z)
@@ -120,7 +427,49 @@ def public_key(secret: bytes) -> bytes:
     if len(secret) != SECRET_KEY_LEN:
         raise ValueError("Ed25519 secret must be 32 bytes")
     a = _clamp(_sha512(secret)[:32])
-    return _compress(_point_mul(a, BASE_POINT))
+    return _compress(_point_mul_base(a))
+
+
+class SigningKey:
+    """Precomputed signing context for one 32-byte secret seed.
+
+    Caches the clamped scalar, the deterministic-nonce prefix and the
+    compressed public key, so each :meth:`sign` is a single fixed-base
+    scalar multiplication (the reference one-shot path pays two).
+    Signatures are byte-identical to :func:`sign`.
+    """
+
+    __slots__ = ("secret", "public", "_a", "_prefix")
+
+    def __init__(self, secret: bytes):
+        if len(secret) != SECRET_KEY_LEN:
+            raise ValueError("Ed25519 secret must be 32 bytes")
+        self.secret = bytes(secret)
+        digest = _sha512(self.secret)
+        self._a = _clamp(digest[:32])
+        self._prefix = digest[32:]
+        # Context setup is precomputation, deliberately uncounted (like
+        # the comb-table build): ``crypto.ed25519.point_adds`` totals
+        # must not depend on which caller warmed a cached context.
+        self.public = _compress(_comb(self._a)[0])
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce the 64-byte deterministic signature for ``message``."""
+        if PERF.enabled:
+            PERF.inc("crypto.ed25519.sign")
+        with TELEMETRY.span("crypto.ed25519.sign",
+                            message_bytes=len(message)), \
+                TELEMETRY.timer("crypto.ed25519.sign_seconds"):
+            r = int.from_bytes(_sha512(self._prefix + message),
+                               "little") % L
+            r_point = _compress(_point_mul_base(r))
+            k = int.from_bytes(_sha512(r_point + self.public + message),
+                               "little") % L
+            s = (r + k * self._a) % L
+            return r_point + s.to_bytes(32, "little")
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return verify(self.public, message, signature)
 
 
 def sign(secret: bytes, message: bytes) -> bytes:
@@ -139,9 +488,9 @@ def _sign(secret: bytes, message: bytes) -> bytes:
     digest = _sha512(secret)
     a = _clamp(digest[:32])
     prefix = digest[32:]
-    public = _compress(_point_mul(a, BASE_POINT))
+    public = _compress(_point_mul_base(a))
     r = int.from_bytes(_sha512(prefix + message), "little") % L
-    r_point = _compress(_point_mul(r, BASE_POINT))
+    r_point = _compress(_point_mul_base(r))
     k = int.from_bytes(_sha512(r_point + public + message), "little") % L
     s = (r + k * a) % L
     return r_point + s.to_bytes(32, "little")
@@ -160,9 +509,35 @@ def verify(public: bytes, message: bytes, signature: bytes) -> bool:
 def _verify(public: bytes, message: bytes, signature: bytes) -> bool:
     if len(public) != PUBLIC_KEY_LEN or len(signature) != SIGNATURE_LEN:
         return False
+    neg_a_table = _verify_table(public)
+    if neg_a_table is None:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32] + public + message),
+                       "little") % L
+    # s*B == R + k*A  <=>  s*B - k*A == R.  Comparing the *canonical*
+    # compression of the left side against the R bytes is equivalent to
+    # decompress-and-compare: compression never produces a non-canonical
+    # or invalid encoding, so every R the reference rejects mismatches
+    # here too — and it saves R's square-root recovery.
+    q = _double_scalar_mul(s, k, None, point_table=neg_a_table)
+    return _compress(q) == signature[:32]
+
+
+def verify_reference(public: bytes, message: bytes,
+                     signature: bytes) -> bool:
+    """The pre-fast-path verification flow, kept verbatim: decompress
+    both points and check ``s*B == R + k*A`` with two double-and-add
+    :func:`_point_mul` chains.  The windowed :func:`verify` is pinned
+    equivalent to this path by the parity suite, and the crypto bench
+    gates the fast path's speedup against it."""
+    if len(public) != PUBLIC_KEY_LEN or len(signature) != SIGNATURE_LEN:
+        return False
     try:
-        a_point = _decompress(public)
-        r_point = _decompress(signature[:32])
+        a = _decompress(public)
+        r = _decompress(signature[:32])
     except ValueError:
         return False
     s = int.from_bytes(signature[32:], "little")
@@ -170,20 +545,21 @@ def _verify(public: bytes, message: bytes, signature: bytes) -> bool:
         return False
     k = int.from_bytes(_sha512(signature[:32] + public + message),
                        "little") % L
-    left = _point_mul(s, BASE_POINT)
-    right = _point_add(r_point, _point_mul(k, a_point))
-    return _point_equal(left, right)
+    sb = _point_mul(s, BASE_POINT)
+    ka = _point_mul(k, a)
+    return _point_equal(sb, _point_add(r, ka))
 
 
 class Ed25519KeyPair:
     """Convenience wrapper pairing a seed with its derived public key."""
 
     def __init__(self, secret: bytes):
-        self.secret = bytes(secret)
-        self.public = public_key(self.secret)
+        self._signer = SigningKey(secret)
+        self.secret = self._signer.secret
+        self.public = self._signer.public
 
     def sign(self, message: bytes) -> bytes:
-        return sign(self.secret, message)
+        return self._signer.sign(message)
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         return verify(self.public, message, signature)

@@ -51,9 +51,15 @@ class HybridKeyPair:
         self._scheme = MLDSA(params)
         self._ed_seed = bytes(ed25519_seed)
         self._mldsa_seed = bytes(mldsa_seed)
-        self._ed_public = ed25519.public_key(self._ed_seed)
+        # Keyed signing contexts: the Ed25519 comb precomputation and
+        # the ML-DSA NTT-domain key expansion happen once here, not on
+        # every sign() call.  Signatures stay byte-identical to the
+        # one-shot module functions.
+        self._ed_signer = ed25519.SigningKey(self._ed_seed)
+        self._ed_public = self._ed_signer.public
         self._mldsa_public, self._mldsa_secret = (
             self._scheme.key_gen(self._mldsa_seed))
+        self._mldsa_signer = self._scheme.signer(self._mldsa_secret)
 
     @property
     def public(self) -> HybridPublicKey:
@@ -61,8 +67,8 @@ class HybridKeyPair:
 
     def sign(self, message: bytes) -> bytes:
         """Sign with both schemes; layout ``ed25519_sig || mldsa_sig``."""
-        classical = ed25519.sign(self._ed_seed, message)
-        post_quantum = self._scheme.sign(self._mldsa_secret, message)
+        classical = self._ed_signer.sign(message)
+        post_quantum = self._mldsa_signer.sign(message)
         return classical + post_quantum
 
     def signature_length(self) -> int:

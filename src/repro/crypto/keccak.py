@@ -7,11 +7,19 @@ the software reference used by the TEE substrate (:mod:`repro.tee`) and by
 ML-DSA (:mod:`repro.crypto.mldsa`).
 
 The implementation is written from scratch and is cross-validated against
-``hashlib`` in the test suite.  It favours clarity over raw speed; the
-sponge processes whole lanes with Python integers.
+``hashlib`` in the test suite.  The permutation is a fully unrolled
+Keccak-f[1600] round over 25 local lane variables (generated and pinned
+by ``scripts/gen_keccak_unrolled.py``); the original loop form is
+retained as :func:`keccak_f1600_reference` and the two are pinned
+byte-equal by hypothesis property tests.  The sponge absorbs and
+squeezes whole blocks at a time via ``struct``.
 """
 
 from __future__ import annotations
+
+import struct
+
+from ..obs.perf import PERF
 
 _MASK64 = (1 << 64) - 1
 
@@ -53,11 +61,12 @@ def _rotl64(value: int, shift: int) -> int:
     return ((value << shift) | (value >> (64 - shift))) & _MASK64
 
 
-def keccak_f1600(lanes: list) -> list:
-    """Apply the Keccak-f[1600] permutation to 25 lanes (5x5, row-major x).
+def keccak_f1600_reference(lanes: list) -> list:
+    """The loop-form Keccak-f[1600] the unrolled permutation is pinned to.
 
-    ``lanes`` is a flat list of 25 integers where lane ``(x, y)`` lives at
-    index ``x + 5 * y``.  A new list is returned; the input is not mutated.
+    Same contract as :func:`keccak_f1600`: a flat list of 25 lanes in,
+    a new list out.  Kept as the readable semantic reference; the test
+    suite proves ``keccak_f1600`` byte-equal to it on random states.
     """
     a = list(lanes)
     for rc in ROUND_CONSTANTS:
@@ -86,6 +95,115 @@ def keccak_f1600(lanes: list) -> list:
     return a
 
 
+# BEGIN GENERATED (scripts/gen_keccak_unrolled.py)
+def keccak_f1600(lanes: list) -> list:
+    """Apply the Keccak-f[1600] permutation to 25 lanes (5x5, row-major x).
+
+    ``lanes`` is a flat list of 25 integers where lane ``(x, y)`` lives at
+    index ``x + 5 * y``.  A new list is returned; the input is not mutated.
+
+    The round body is fully unrolled over 25 locals (generated and pinned
+    by ``scripts/gen_keccak_unrolled.py``); ``keccak_f1600_reference``
+    keeps the loop form the unrolled code is tested against.
+    """
+    if PERF.enabled:
+        PERF.inc("crypto.keccak.permutations")
+    m = _MASK64
+    (a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
+     a13, a14, a15, a16, a17, a18, a19, a20, a21, a22, a23, a24) = lanes
+    for rc in ROUND_CONSTANTS:
+        # theta
+        c0 = a0 ^ a5 ^ a10 ^ a15 ^ a20
+        c1 = a1 ^ a6 ^ a11 ^ a16 ^ a21
+        c2 = a2 ^ a7 ^ a12 ^ a17 ^ a22
+        c3 = a3 ^ a8 ^ a13 ^ a18 ^ a23
+        c4 = a4 ^ a9 ^ a14 ^ a19 ^ a24
+        d0 = c4 ^ (((c1 << 1) | (c1 >> 63)) & m)
+        d1 = c0 ^ (((c2 << 1) | (c2 >> 63)) & m)
+        d2 = c1 ^ (((c3 << 1) | (c3 >> 63)) & m)
+        d3 = c2 ^ (((c4 << 1) | (c4 >> 63)) & m)
+        d4 = c3 ^ (((c0 << 1) | (c0 >> 63)) & m)
+        # rho + pi (theta's d folded into the rotation input)
+        b0 = a0 ^ d0
+        t = a5 ^ d0
+        b16 = ((t << 36) | (t >> 28)) & m
+        t = a10 ^ d0
+        b7 = ((t << 3) | (t >> 61)) & m
+        t = a15 ^ d0
+        b23 = ((t << 41) | (t >> 23)) & m
+        t = a20 ^ d0
+        b14 = ((t << 18) | (t >> 46)) & m
+        t = a1 ^ d1
+        b10 = ((t << 1) | (t >> 63)) & m
+        t = a6 ^ d1
+        b1 = ((t << 44) | (t >> 20)) & m
+        t = a11 ^ d1
+        b17 = ((t << 10) | (t >> 54)) & m
+        t = a16 ^ d1
+        b8 = ((t << 45) | (t >> 19)) & m
+        t = a21 ^ d1
+        b24 = ((t << 2) | (t >> 62)) & m
+        t = a2 ^ d2
+        b20 = ((t << 62) | (t >> 2)) & m
+        t = a7 ^ d2
+        b11 = ((t << 6) | (t >> 58)) & m
+        t = a12 ^ d2
+        b2 = ((t << 43) | (t >> 21)) & m
+        t = a17 ^ d2
+        b18 = ((t << 15) | (t >> 49)) & m
+        t = a22 ^ d2
+        b9 = ((t << 61) | (t >> 3)) & m
+        t = a3 ^ d3
+        b5 = ((t << 28) | (t >> 36)) & m
+        t = a8 ^ d3
+        b21 = ((t << 55) | (t >> 9)) & m
+        t = a13 ^ d3
+        b12 = ((t << 25) | (t >> 39)) & m
+        t = a18 ^ d3
+        b3 = ((t << 21) | (t >> 43)) & m
+        t = a23 ^ d3
+        b19 = ((t << 56) | (t >> 8)) & m
+        t = a4 ^ d4
+        b15 = ((t << 27) | (t >> 37)) & m
+        t = a9 ^ d4
+        b6 = ((t << 20) | (t >> 44)) & m
+        t = a14 ^ d4
+        b22 = ((t << 39) | (t >> 25)) & m
+        t = a19 ^ d4
+        b13 = ((t << 8) | (t >> 56)) & m
+        t = a24 ^ d4
+        b4 = ((t << 14) | (t >> 50)) & m
+        # chi + iota
+        a0 = (b0 ^ ((b1 ^ m) & b2)) ^ rc
+        a1 = (b1 ^ ((b2 ^ m) & b3))
+        a2 = (b2 ^ ((b3 ^ m) & b4))
+        a3 = (b3 ^ ((b4 ^ m) & b0))
+        a4 = (b4 ^ ((b0 ^ m) & b1))
+        a5 = (b5 ^ ((b6 ^ m) & b7))
+        a6 = (b6 ^ ((b7 ^ m) & b8))
+        a7 = (b7 ^ ((b8 ^ m) & b9))
+        a8 = (b8 ^ ((b9 ^ m) & b5))
+        a9 = (b9 ^ ((b5 ^ m) & b6))
+        a10 = (b10 ^ ((b11 ^ m) & b12))
+        a11 = (b11 ^ ((b12 ^ m) & b13))
+        a12 = (b12 ^ ((b13 ^ m) & b14))
+        a13 = (b13 ^ ((b14 ^ m) & b10))
+        a14 = (b14 ^ ((b10 ^ m) & b11))
+        a15 = (b15 ^ ((b16 ^ m) & b17))
+        a16 = (b16 ^ ((b17 ^ m) & b18))
+        a17 = (b17 ^ ((b18 ^ m) & b19))
+        a18 = (b18 ^ ((b19 ^ m) & b15))
+        a19 = (b19 ^ ((b15 ^ m) & b16))
+        a20 = (b20 ^ ((b21 ^ m) & b22))
+        a21 = (b21 ^ ((b22 ^ m) & b23))
+        a22 = (b22 ^ ((b23 ^ m) & b24))
+        a23 = (b23 ^ ((b24 ^ m) & b20))
+        a24 = (b24 ^ ((b20 ^ m) & b21))
+    return [a0, a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12,
+            a13, a14, a15, a16, a17, a18, a19, a20, a21, a22, a23, a24]
+# END GENERATED
+
+
 class KeccakSponge:
     """Incremental Keccak sponge with a byte-granular rate.
 
@@ -112,20 +230,32 @@ class KeccakSponge:
         """Absorb ``data`` into the sponge; chainable."""
         if self._squeezing:
             raise RuntimeError("cannot absorb after squeezing has begun")
-        self._buffer.extend(data)
-        while len(self._buffer) >= self.rate_bytes:
-            block = bytes(self._buffer[:self.rate_bytes])
-            del self._buffer[:self.rate_bytes]
-            self._absorb_block(block)
+        buffer = self._buffer
+        buffer.extend(data)
+        rate = self.rate_bytes
+        if len(buffer) >= rate:
+            blocks = len(buffer) // rate
+            chunk = bytes(buffer[:blocks * rate])
+            del buffer[:blocks * rate]
+            self._absorb_blocks(chunk)
         return self
 
-    def _absorb_block(self, block: bytes) -> None:
-        for i in range(len(block) // 8):
-            lane = int.from_bytes(block[8 * i:8 * i + 8], "little")
-            self._lanes[i] ^= lane
-        # A partial trailing chunk only occurs for the padded final block,
-        # which _pad always extends to the full rate, so nothing remains.
-        self._lanes = keccak_f1600(self._lanes)
+    def _absorb_blocks(self, chunk: bytes) -> None:
+        """XOR-and-permute whole rate-sized blocks (``chunk`` is a
+        multiple of the rate)."""
+        rate = self.rate_bytes
+        lanes_per_block = rate // 8
+        # A partial trailing lane only occurs for non-lane-aligned rates;
+        # the padded final block always fills the rate, so for the
+        # standard FIPS 202 rates nothing remains.
+        fmt = f"<{lanes_per_block}Q"
+        lanes = self._lanes
+        for offset in range(0, len(chunk), rate):
+            words = struct.unpack_from(fmt, chunk, offset)
+            for i in range(lanes_per_block):
+                lanes[i] ^= words[i]
+            lanes = keccak_f1600(lanes)
+        self._lanes = lanes
 
     def _pad(self) -> None:
         pad_len = self.rate_bytes - (len(self._buffer) % self.rate_bytes)
@@ -133,10 +263,18 @@ class KeccakSponge:
         padding[0] = self.domain_suffix
         padding[-1] ^= 0x80
         self._buffer.extend(padding)
-        while len(self._buffer) >= self.rate_bytes:
-            block = bytes(self._buffer[:self.rate_bytes])
-            del self._buffer[:self.rate_bytes]
-            self._absorb_block(block)
+        chunk = bytes(self._buffer)
+        del self._buffer[:]
+        self._absorb_blocks(chunk)
+
+    def _serialize_rate(self) -> bytes:
+        """The rate-sized prefix of the state as bytes (one output
+        block of the squeezing phase)."""
+        full, extra = divmod(self.rate_bytes, 8)
+        block = struct.pack(f"<{full}Q", *self._lanes[:full])
+        if extra:
+            block += self._lanes[full].to_bytes(8, "little")[:extra]
+        return block
 
     def squeeze(self, length: int) -> bytes:
         """Squeeze ``length`` output bytes; may be called repeatedly."""
@@ -144,17 +282,17 @@ class KeccakSponge:
             self._pad()
             self._squeezing = True
             self._squeeze_offset = 0
+            self._block = self._serialize_rate()
         out = bytearray()
+        rate = self.rate_bytes
         while len(out) < length:
-            if self._squeeze_offset == self.rate_bytes:
+            if self._squeeze_offset == rate:
                 self._lanes = keccak_f1600(self._lanes)
+                self._block = self._serialize_rate()
                 self._squeeze_offset = 0
-            lane_index, lane_byte = divmod(self._squeeze_offset, 8)
-            lane = self._lanes[lane_index].to_bytes(8, "little")
-            take = min(length - len(out),
-                       8 - lane_byte,
-                       self.rate_bytes - self._squeeze_offset)
-            out.extend(lane[lane_byte:lane_byte + take])
+            take = min(length - len(out), rate - self._squeeze_offset)
+            out.extend(self._block[self._squeeze_offset:
+                                   self._squeeze_offset + take])
             self._squeeze_offset += take
         return bytes(out)
 

@@ -34,7 +34,10 @@ class Device:
         self.mldsa_params = mldsa_params
         ed_seed, mldsa_seed = derive_seed_pair(root_secret, "device-keys")
         self.ed25519_seed = ed_seed
-        self.ed25519_public = ed25519.public_key(ed_seed)
+        # Keyed signing context: clamped scalar + nonce prefix computed
+        # once, so every boot signature is a single fixed-base multiply.
+        self._ed_signer = ed25519.SigningKey(ed_seed)
+        self.ed25519_public = self._ed_signer.public
         if post_quantum:
             # Stored as a seed; expanded on demand (i.e. at boot) exactly
             # as the paper's bootrom-size mitigation prescribes.
@@ -50,12 +53,13 @@ class Device:
     # -- device-key signing (only ever used by the bootrom) ------------
 
     def sign_classical(self, message: bytes) -> bytes:
-        return ed25519.sign(self.ed25519_seed, message)
+        return self._ed_signer.sign(message)
 
     def sign_post_quantum(self, message: bytes) -> bytes:
         if not self.post_quantum:
             raise RuntimeError("device has no post-quantum identity")
-        return MLDSA(self.mldsa_params).sign(self._mldsa_secret, message)
+        return MLDSA(self.mldsa_params).signer(self._mldsa_secret).sign(
+            message)
 
     def derive_sm_secret(self, sm_measurement: bytes) -> bytes:
         """The SM's root secret, bound to the measured SM image.

@@ -84,6 +84,12 @@ class SecurityMonitor:
         self.stack = self.stacks[self.hart.hart_id]
         self._mldsa = MLDSA(self.config.mldsa_params)
         self._sm_mldsa_secret = None   # expanded lazily from the seed
+        # Attestation-key signing contexts, built lazily on the first
+        # report and reused for every subsequent one: the Ed25519 comb
+        # precomputation and the ML-DSA NTT-domain key expansion are
+        # paid once per SM instead of once per attestation.
+        self._sm_ed_signer = None
+        self._sm_mldsa_signer = None
         self._dram = dram
         self._next_enclave_base = dram.base + SM_REGION_SIZE
         self._next_enclave_id = 1
@@ -268,20 +274,23 @@ class SecurityMonitor:
             report.sm_mldsa_public = self.boot_report.sm_mldsa_public
             report.sm_pq_signature = self.boot_report.sm_cert_pq
         payload = report.enclave_payload()
+        if self._sm_ed_signer is None:
+            self._sm_ed_signer = ed25519.SigningKey(
+                self.boot_report.sm_ed25519_seed)
         with TELEMETRY.span("tee.attest.sign", scheme="ed25519"), \
                 TELEMETRY.timer("tee.attest.sign_seconds"):
             report.enclave_signature = self._sign_with_stack(
-                lambda m: ed25519.sign(self.boot_report.sm_ed25519_seed,
-                                       m),
-                ED25519_SIGNING_STACK, payload)
+                self._sm_ed_signer.sign, ED25519_SIGNING_STACK, payload)
         if self.config.post_quantum:
-            if self._sm_mldsa_secret is None:
+            if self._sm_mldsa_signer is None:
                 _, self._sm_mldsa_secret = self._mldsa.key_gen(
                     self.boot_report.sm_mldsa_seed)
+                self._sm_mldsa_signer = self._mldsa.signer(
+                    self._sm_mldsa_secret)
             with TELEMETRY.span("tee.attest.sign", scheme="mldsa"), \
                     TELEMETRY.timer("tee.attest.sign_seconds"):
                 report.enclave_pq_signature = self._sign_with_stack(
-                    lambda m: self._mldsa.sign(self._sm_mldsa_secret, m),
+                    self._sm_mldsa_signer.sign,
                     self._mldsa.signing_stack_bytes, payload)
         return report
 
