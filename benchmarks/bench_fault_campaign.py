@@ -21,6 +21,7 @@ import pytest
 
 from conftest import write_table
 from repro.faults.campaign import standard_campaign
+from repro.obs import CoverageMap
 from repro.faults.report import Outcome
 from repro.runtime import available_cpus
 
@@ -36,32 +37,34 @@ PARALLEL_SPEEDUP_FLOOR = 1.2
 
 @pytest.fixture(scope="module")
 def campaign():
+    coverage = CoverageMap("fault_campaign")
     start = time.perf_counter()
-    result = standard_campaign(seed=SEED, injections=INJECTIONS)
+    result = standard_campaign(seed=SEED, injections=INJECTIONS,
+                               coverage=coverage)
     wall = time.perf_counter() - start
-    return result, wall
+    return result, wall, coverage
 
 
 def test_campaign_meets_budget(campaign):
-    result, wall = campaign
+    result, wall, _ = campaign
     assert result.injections >= 200
     assert wall < WALL_BUDGET_S, (
         f"campaign took {wall:.1f}s for {result.injections} injections")
 
 
 def test_hardened_paths_zero_silent_corruption(campaign):
-    result, _ = campaign
+    result, _, _ = campaign
     violations = result.hardened_violations()
     assert violations == [], [v.to_record() for v in violations]
 
 
 def test_no_crashes_anywhere(campaign):
-    result, _ = campaign
+    result, _, _ = campaign
     assert result.outcome_totals().get(Outcome.CRASH.value, 0) == 0
 
 
 def test_boot_attest_fired_faults_detected_or_recovered(campaign):
-    result, _ = campaign
+    result, _, _ = campaign
     for run in result.runs:
         if run.scenario == "boot-attest" and run.fired:
             assert run.outcome in ("detected", "recovered"), \
@@ -69,7 +72,7 @@ def test_boot_attest_fired_faults_detected_or_recovered(campaign):
 
 
 def test_flat_baseline_demonstrates_silent_corruption(campaign):
-    result, _ = campaign
+    result, _, _ = campaign
     flat = result.by_scenario()["rtos-flat"]
     assert flat.get("silent_corruption", 0) > 0, (
         "the unhardened baseline should show the defect class the "
@@ -81,13 +84,18 @@ def test_parallel_campaign_byte_identical_and_faster(campaign,
     """Rerun the exact campaign fanned across worker processes: the
     canonical JSON must match the serial run byte for byte, and on
     hardware with enough CPUs (CI) the wall time must beat serial."""
-    serial, serial_wall = campaign
+    serial, serial_wall, serial_cover = campaign
+    parallel_cover = CoverageMap("fault_campaign")
     start = time.perf_counter()
     parallel = standard_campaign(seed=SEED, injections=INJECTIONS,
-                                 jobs=PARALLEL_JOBS)
+                                 jobs=PARALLEL_JOBS,
+                                 coverage=parallel_cover)
     parallel_wall = time.perf_counter() - start
 
     assert parallel.canonical_json() == serial.canonical_json()
+    # The coverage map rides the same shard-order merge: its canonical
+    # JSON must be byte-identical to the serial run's too.
+    assert parallel_cover.to_json() == serial_cover.to_json()
 
     speedup = serial_wall / parallel_wall
     write_table(
@@ -107,16 +115,23 @@ def test_parallel_campaign_byte_identical_and_faster(campaign,
 
 
 def test_every_fault_model_was_exercised(campaign):
-    result, _ = campaign
+    result, _, _ = campaign
     models = set(result.by_model())
     assert len(models) >= 10
 
 
 def test_write_artifacts(campaign, report_dir):
-    result, wall = campaign
+    result, wall, coverage = campaign
     path = result.write(report_dir / "fault_campaign.json")
     result.write_runs_jsonl(report_dir / "fault_campaign_runs.jsonl")
     assert path.exists()
+
+    # Perf-signature coverage over the campaign: one group per
+    # scenario, distinct log-bucketized counter vectors within it.
+    assert set(coverage.groups()) == set(result.scenarios)
+    assert coverage.observations == result.injections
+    assert coverage.distinct() > 0
+    coverage.write(report_dir / "coverage_fault_campaign.json")
 
     totals = result.outcome_totals()
     rows = []

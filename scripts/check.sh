@@ -22,7 +22,8 @@ REPRO_TELEMETRY=1 REPRO_PERF=1 python -m pytest -q \
     benchmarks/bench_framework.py \
     benchmarks/bench_fault_campaign.py \
     benchmarks/bench_table1_dse_runtime.py \
-    benchmarks/bench_crypto_primitives.py
+    benchmarks/bench_crypto_primitives.py \
+    benchmarks/bench_obs_overhead.py
 
 echo "== fault campaign summary =="
 python scripts/fault_report.py benchmarks/results/fault_campaign.json \
@@ -32,6 +33,11 @@ echo "== trace report =="
 python scripts/trace_report.py benchmarks/results/trace.jsonl \
     --metrics benchmarks/results/metrics.json \
     --collapsed benchmarks/results/profile.collapsed --top 15
+
+echo "== exposition snapshot (Prometheus text) =="
+python scripts/obs_export.py --check \
+    --out benchmarks/results/exposition.txt
+head -n 5 benchmarks/results/exposition.txt
 
 echo "== bench summary =="
 python - <<'EOF'

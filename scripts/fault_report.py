@@ -25,6 +25,13 @@ _SEVERITY = ["crash", "silent_corruption", "detected", "recovered",
              "masked"]
 
 
+def _fail(message: str) -> int:
+    """Operator-grade failure: one line on stderr, exit code 1 — a
+    missing or corrupt artifact is a usage problem, not a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
 def _print_breakdown(title: str, buckets: dict) -> None:
     print(f"\n{title}")
     width = max((len(k) for k in buckets), default=0)
@@ -100,10 +107,17 @@ def main(argv=None) -> int:
         data = result.to_dict()
     else:
         if not args.artifact.exists():
-            parser.error(f"no such artifact: {args.artifact} "
+            return _fail(f"no such artifact: {args.artifact} "
                          f"(run the bench first, or use --run)")
-        data = json.loads(args.artifact.read_text())
-    return summarize(data, by=args.by, worst=args.worst)
+        try:
+            data = json.loads(args.artifact.read_text())
+        except ValueError as exc:
+            return _fail(f"{args.artifact}: malformed JSON ({exc})")
+    try:
+        return summarize(data, by=args.by, worst=args.worst)
+    except (KeyError, TypeError, AttributeError) as exc:
+        return _fail(f"{args.artifact}: not a campaign artifact "
+                     f"({exc!r})")
 
 
 if __name__ == "__main__":

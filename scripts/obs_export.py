@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Render observability artifacts as a Prometheus text snapshot.
+
+    PYTHONPATH=src python scripts/obs_export.py \
+        --metrics benchmarks/results/metrics.json \
+        --perf benchmarks/results/perf_counters.json \
+        --coverage 'benchmarks/results/coverage_*.json' \
+        --out benchmarks/results/exposition.txt --check
+
+Reads the metrics snapshot, the perf-counter export and any coverage
+maps (glob patterns allowed) written by the benches / streaming sinks
+and renders one exposition document — the same format the future live
+attestation-service endpoint will serve per scrape.  Missing inputs
+are skipped (artifacts depend on which switches a run had enabled);
+malformed inputs fail with a one-line error, never a traceback.
+``--check`` re-parses the rendered document with the strict parser so
+exit 0 certifies valid exposition text.
+"""
+
+import argparse
+import glob
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.obs import atomic_write_text  # noqa: E402
+from repro.obs.exposition import parse_exposition, render  # noqa: E402
+
+RESULTS = pathlib.Path("benchmarks/results")
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def _load_json(path: pathlib.Path):
+    """Parsed JSON, or a one-line-error sentinel (None = missing)."""
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except ValueError as exc:
+        raise SystemExit(_fail(f"{path}: malformed JSON ({exc})"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="render observability artifacts as Prometheus "
+                    "exposition text")
+    parser.add_argument("--metrics", type=pathlib.Path,
+                        default=RESULTS / "metrics.json",
+                        help="metrics snapshot JSON (skipped when "
+                             "missing)")
+    parser.add_argument("--perf", type=pathlib.Path,
+                        default=RESULTS / "perf_counters.json",
+                        help="perf-counter export JSON (skipped when "
+                             "missing)")
+    parser.add_argument("--coverage", action="append", default=None,
+                        metavar="GLOB",
+                        help="coverage map JSON path or glob; may "
+                             "repeat (default: "
+                             "benchmarks/results/coverage_*.json)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the document here (atomically) "
+                             "instead of stdout")
+    parser.add_argument("--check", action="store_true",
+                        help="re-parse the rendered document and fail "
+                             "on any malformed line")
+    args = parser.parse_args(argv)
+
+    metrics = _load_json(args.metrics)
+    perf = _load_json(args.perf)
+    patterns = args.coverage if args.coverage is not None \
+        else [str(RESULTS / "coverage_*.json")]
+    coverage = []
+    for pattern in patterns:
+        for path in sorted(glob.glob(pattern)):
+            payload = _load_json(pathlib.Path(path))
+            if payload is not None:
+                coverage.append(payload)
+
+    if metrics is None and perf is None and not coverage:
+        return _fail("no readable input artifacts (run the benches "
+                     "with REPRO_TELEMETRY=1 REPRO_PERF=1 first)")
+
+    text = render(metrics=metrics, perf=perf, coverage=coverage)
+    if args.check:
+        try:
+            families = parse_exposition(text)
+        except ValueError as exc:
+            return _fail(f"rendered document is invalid: {exc}")
+        samples = sum(len(v) for v in families.values())
+        print(f"exposition check: {len(families)} families, "
+              f"{samples} samples, all lines valid", file=sys.stderr)
+    if args.out is not None:
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -29,6 +29,13 @@ from repro.obs import format_metrics, format_report, parse_collapsed, \
 BAR_WIDTH = 30
 
 
+def _fail(message: str) -> int:
+    """Operator-grade failure: one line on stderr, exit code 1 — a
+    missing or corrupt artifact is a usage problem, not a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
 def format_collapsed(stacks: dict, top: int = 20) -> str:
     """Render a ``{path: weight}`` collapsed profile as a text table."""
     if not stacks:
@@ -70,25 +77,39 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if not args.trace.exists():
-        parser.error(f"no such trace: {args.trace}")
-    records = read_jsonl(args.trace)
+        return _fail(f"no such trace: {args.trace}")
+    try:
+        records = read_jsonl(args.trace)
+        summary = summarize(records) if records else {}
+    except (ValueError, KeyError, TypeError) as exc:
+        return _fail(f"{args.trace}: malformed trace ({exc})")
     if not records:
         print(f"{args.trace}: empty trace (was telemetry enabled?)")
         return 1
-    summary = summarize(records)
     print(f"{args.trace}: {len(records)} spans, "
           f"{len(summary)} distinct names\n")
     print(format_report(summary, sort=args.sort, top=args.top))
     if args.metrics is not None:
-        snapshot = json.loads(args.metrics.read_text())
-        print(format_metrics(snapshot))
+        if not args.metrics.exists():
+            return _fail(f"no such metrics file: {args.metrics}")
+        try:
+            snapshot = json.loads(args.metrics.read_text())
+            print(format_metrics(snapshot))
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            return _fail(f"{args.metrics}: malformed metrics "
+                         f"snapshot ({exc})")
     if args.collapsed is not None:
         if not args.collapsed.exists():
-            parser.error(f"no such profile: {args.collapsed}")
+            return _fail(f"no such profile: {args.collapsed}")
         stacks = {}
-        for path, value in parse_collapsed(args.collapsed.read_text()):
-            key = ";".join(path)
-            stacks[key] = stacks.get(key, 0) + value
+        try:
+            for path, value in parse_collapsed(
+                    args.collapsed.read_text()):
+                key = ";".join(path)
+                stacks[key] = stacks.get(key, 0) + value
+        except (ValueError, TypeError) as exc:
+            return _fail(f"{args.collapsed}: malformed collapsed "
+                         f"profile ({exc})")
         print()
         print(format_collapsed(stacks, top=args.top))
     return 0

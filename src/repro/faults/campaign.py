@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
+from ..obs.coverage import CoverageMap
 from ..obs.export import write_jsonl
 from ..obs.perf import PERF
 from ..runtime import chunk_bounds, resolve_jobs, run_sharded
@@ -33,6 +34,14 @@ from .report import ACCEPTABLE_ON_HARDENED, Outcome
 #: An env-requested parallel campaign stays serial below this many
 #: injection runs per worker — pool startup would dominate.
 MIN_RUNS_PER_JOB = 16
+
+#: Campaign-scale chunking: plans longer than this per shard are split
+#: into more chunks than workers, so each worker ships its telemetry
+#: capture (and coverage map) back in bounded pieces and the parent's
+#: streaming sink drains between merges — O(1) telemetry memory at
+#: 10^5+ injections.  Short campaigns (the benches) keep exactly one
+#: chunk per worker, leaving their recorded shard counters unchanged.
+MAX_RUNS_PER_CHUNK = 512
 
 
 @dataclass(frozen=True)
@@ -233,7 +242,8 @@ def classify(golden: dict, observed: dict, events: tuple,
 # -- running -------------------------------------------------------------
 
 def run_campaign(scenarios, seed: int = 2026, injections: int = 200,
-                 jobs: int = None) -> CampaignResult:
+                 jobs: int = None,
+                 coverage: CoverageMap = None) -> CampaignResult:
     """Execute a full campaign; always leaves the injector disarmed.
 
     ``jobs`` > 1 (or ``REPRO_JOBS`` when omitted) executes the
@@ -242,12 +252,20 @@ def run_campaign(scenarios, seed: int = 2026, injections: int = 200,
     armed/disarmed around each run — so chunks of the plan merge back
     in run-index order into the exact serial record list and the
     canonical JSON stays byte-identical for any worker count.
+
+    ``coverage`` (a :class:`~repro.obs.coverage.CoverageMap`) enables
+    the ROADMAP-4 steering signal: every run's architectural
+    perf-counter delta is log-bucketized into a signature and folded
+    into the map under the scenario name.  Per-run deltas are
+    deterministic, and per-chunk maps merge by set union in shard
+    order, so the map's canonical JSON is byte-identical for any
+    worker count too.
     """
     with TELEMETRY.span("faults.campaign", seed=seed,
                         injections=injections,
                         scenarios=len(scenarios)) as campaign_span:
         result = _run_campaign(scenarios, seed, injections, jobs,
-                               campaign_span)
+                               campaign_span, coverage)
         if TELEMETRY.enabled:
             campaign_span.set_attr("hardened_violations",
                                    len(result.hardened_violations()))
@@ -256,11 +274,19 @@ def run_campaign(scenarios, seed: int = 2026, injections: int = 200,
         return result
 
 
-def _execute_one(index: int, scenario, spec, golden: dict) -> RunRecord:
+def _execute_one(index: int, scenario, spec, golden: dict,
+                 cover: CoverageMap = None) -> RunRecord:
     """Arm, execute, disarm and classify one planned injection."""
     with TELEMETRY.span("faults.campaign.run",
                         scenario=scenario.name, site=spec.site,
                         model=spec.model) as run_span:
+        if cover is not None:
+            # Coverage needs per-run counter deltas even when the
+            # global PERF switch is off; force it for the run window
+            # and restore (counts accumulate, deltas isolate the run).
+            perf_was = PERF.enabled
+            PERF.enabled = True
+            perf_before = PERF.snapshot()
         FAULTS.arm(spec)
         observed, crash = None, None
         try:
@@ -269,6 +295,10 @@ def _execute_one(index: int, scenario, spec, golden: dict) -> RunRecord:
             crash = exc
         finally:
             events = FAULTS.disarm()
+        if cover is not None:
+            cover.observe(scenario.name,
+                          PERF.snapshot() - perf_before)
+            PERF.enabled = perf_was
         outcome, reason, detail = classify(golden, observed or {},
                                            events, crash)
         if PERF.enabled:
@@ -290,19 +320,22 @@ def _execute_one(index: int, scenario, spec, golden: dict) -> RunRecord:
         outcome=outcome.value, reason=reason, detail=detail)
 
 
-def _execute_plan_range(state, bounds) -> list:
+def _execute_plan_range(state, bounds) -> tuple:
     """Execute one contiguous chunk of the plan (serially inline, or
-    inside a forked pool worker); returns plain picklable records."""
-    plans, golden = state
+    inside a forked pool worker); returns plain picklable records plus
+    the chunk's exported coverage map (or ``None``)."""
+    plans, golden, want_coverage = state
     lo, hi = bounds
-    return [_execute_one(index, scenario, spec,
-                         golden[scenario.name])
-            for index, (scenario, spec)
-            in enumerate(plans[lo:hi], start=lo)]
+    cover = CoverageMap() if want_coverage else None
+    records = [_execute_one(index, scenario, spec,
+                            golden[scenario.name], cover)
+               for index, (scenario, spec)
+               in enumerate(plans[lo:hi], start=lo)]
+    return records, cover.to_dict() if cover is not None else None
 
 
 def _run_campaign(scenarios, seed, injections, jobs,
-                  campaign_span) -> CampaignResult:
+                  campaign_span, coverage) -> CampaignResult:
     FAULTS.disarm()
     golden = {}
     with TELEMETRY.span("faults.campaign.golden",
@@ -325,18 +358,28 @@ def _run_campaign(scenarios, seed, injections, jobs,
                         min_work_per_job=MIN_RUNS_PER_JOB)
     if TELEMETRY.enabled:
         campaign_span.set_attr("jobs", jobs)
-    outputs = run_sharded(_execute_plan_range, (plans, golden),
-                          chunk_bounds(len(plans), jobs), jobs=jobs)
-    result.runs = [record for chunk in outputs for record in chunk]
+    chunks = max(jobs,
+                 (len(plans) + MAX_RUNS_PER_CHUNK - 1)
+                 // MAX_RUNS_PER_CHUNK) if plans else jobs
+    outputs = run_sharded(_execute_plan_range,
+                          (plans, golden, coverage is not None),
+                          chunk_bounds(len(plans), chunks), jobs=jobs)
+    result.runs = [record for records, _ in outputs
+                   for record in records]
+    if coverage is not None:
+        for _, cover_dict in outputs:
+            coverage.merge(cover_dict)
     return result
 
 
 def standard_campaign(seed: int = 2026, injections: int = 200,
-                      jobs: int = None) -> CampaignResult:
+                      jobs: int = None,
+                      coverage: CoverageMap = None) -> CampaignResult:
     """Run the standard scenario suite (boot/attest, delivery, RTOS
     protected + flat baseline, SoC fabric) under a seeded fault grid."""
     # Imported lazily: scenarios pull in repro.tee/rtos/soc, which
     # themselves import repro.faults for their hook sites.
     from .scenarios import standard_scenarios
     return run_campaign(standard_scenarios(), seed=seed,
-                        injections=injections, jobs=jobs)
+                        injections=injections, jobs=jobs,
+                        coverage=coverage)

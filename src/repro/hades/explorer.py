@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
+from ..obs.coverage import CoverageMap
 from ..runtime import (Memo, chunk_bounds, resolve_jobs, run_sharded,
                        stride_shards)
 from .metrics import OptimizationGoal
@@ -116,6 +117,13 @@ class _GoalReduction:
         return self.best_key, self.best, kept
 
 
+def _metrics_vector(template_name: str, metrics) -> dict:
+    """The cost vector a design contributes to a coverage map."""
+    return {f"{template_name}.area_kge": metrics.area_kge,
+            f"{template_name}.latency_cc": metrics.latency_cc,
+            f"{template_name}.randomness_bits": metrics.randomness_bits}
+
+
 def _exhaustive_shard(state, shard) -> tuple:
     """Reduce one interleaved index shard of the full space.
 
@@ -123,10 +131,11 @@ def _exhaustive_shard(state, shard) -> tuple:
     returns is plain data, and the union of all shards is exactly the
     serial stream, so the merged result is provably the serial one.
     """
-    template, context, goals, top_k = state
+    template, context, goals, top_k, want_coverage = state
     offset, step = shard
     obs_counter = TELEMETRY.counter("hades.evaluations") \
         if TELEMETRY.enabled else None
+    cover = CoverageMap() if want_coverage else None
     feasible = 0
     reductions = [_GoalReduction(goal, top_k) for goal in goals]
     for raw_index, design in enumerate_designs(
@@ -135,9 +144,14 @@ def _exhaustive_shard(state, shard) -> tuple:
         feasible += 1
         if obs_counter is not None:
             obs_counter.inc()
+        if cover is not None:
+            cover.observe(template.name,
+                          _metrics_vector(template.name,
+                                          design.metrics))
         for reduction in reductions:
             reduction.consider(raw_index, design)
-    return feasible, [reduction.dump() for reduction in reductions]
+    return (feasible, [reduction.dump() for reduction in reductions],
+            cover.to_dict() if cover is not None else None)
 
 
 def _merge_goal(outputs: list, position: int, top_k: int) -> tuple:
@@ -145,7 +159,7 @@ def _merge_goal(outputs: list, position: int, top_k: int) -> tuple:
     the optimum, global sort of the kept heaps for the top-k."""
     best_key = best = None
     entries = []
-    for _, dumps in outputs:
+    for _, dumps, _ in outputs:
         shard_key, shard_best, kept = dumps[position]
         if shard_key is not None and \
                 (best_key is None or shard_key < best_key):
@@ -166,22 +180,28 @@ class ExhaustiveExplorer:
         self.context = context
 
     def run(self, goal: OptimizationGoal, top_k: int = 1,
-            jobs: int = None) -> ExplorationResult:
+            jobs: int = None,
+            coverage: CoverageMap = None) -> ExplorationResult:
         """Traverse the entire space and return the optimum for ``goal``.
 
         ``top_k`` > 1 additionally collects the k best designs ("a small
         set of implementations optimized towards one or more goals").
         ``jobs`` > 1 shards the traversal across worker processes with
         an identical result (serial is the default; ``REPRO_JOBS``
-        applies when ``jobs`` is omitted).
+        applies when ``jobs`` is omitted).  ``coverage`` folds every
+        feasible design's log-bucketized cost vector into the given
+        :class:`~repro.obs.coverage.CoverageMap` (per-shard maps merge
+        in shard order, so the map is identical for any worker count).
         """
         with TELEMETRY.span("hades.exhaustive.run",
                             template=self.template.name,
                             goal=goal.name) as span:
-            return self._run_goals((goal,), top_k, jobs, span)[goal]
+            return self._run_goals((goal,), top_k, jobs, span,
+                                   coverage)[goal]
 
     def run_all_goals(self, goals=None, top_k: int = 1,
-                      jobs: int = None) -> dict:
+                      jobs: int = None,
+                      coverage: CoverageMap = None) -> dict:
         """One *shared* traversal scoring every goal at once; returns
         ``{goal: ExplorationResult}``.
 
@@ -197,19 +217,23 @@ class ExhaustiveExplorer:
         with TELEMETRY.span("hades.exhaustive.run_all_goals",
                             template=self.template.name,
                             goals=len(goals)) as span:
-            return self._run_goals(goals, top_k, jobs, span)
+            return self._run_goals(goals, top_k, jobs, span, coverage)
 
     def _run_goals(self, goals: tuple, top_k: int, jobs: int,
-                   span) -> dict:
+                   span, coverage: CoverageMap = None) -> dict:
         started = time.perf_counter()
         total = self.template.count_configurations()
         jobs = resolve_jobs(jobs, work=total,
                             min_work_per_job=MIN_CONFIGS_PER_JOB)
         outputs = run_sharded(
             _exhaustive_shard, (self.template, self.context, goals,
-                                top_k),
+                                top_k, coverage is not None),
             stride_shards(jobs), jobs=jobs)
-        feasible = sum(shard_feasible for shard_feasible, _ in outputs)
+        feasible = sum(shard_feasible
+                       for shard_feasible, _, _ in outputs)
+        if coverage is not None:
+            for _, _, cover_dict in outputs:
+                coverage.merge(cover_dict)
         if feasible == 0:
             raise InfeasibleConfiguration(
                 f"no feasible design for {self.template.name} in "
@@ -372,17 +396,21 @@ def _descend(template: Template, context: DesignContext,
         config, metrics = best_neighbour
 
 
-def _local_search_shard(state, bounds) -> list:
+def _local_search_shard(state, bounds) -> tuple:
     """Run one contiguous block of independent random starts."""
-    template, context, goal, start_configs = state
+    template, context, goal, start_configs, want_coverage = state
     lo, hi = bounds
+    cover = CoverageMap() if want_coverage else None
     results = []
     for index in range(lo, hi):
         with TELEMETRY.span("hades.local_search.descent", start=index):
             config, metrics, evaluations, hits = _descend(
                 template, context, start_configs[index], goal)
+        if cover is not None and metrics is not None:
+            cover.observe(template.name,
+                          _metrics_vector(template.name, metrics))
         results.append((index, config, metrics, evaluations, hits))
-    return results
+    return results, cover.to_dict() if cover is not None else None
 
 
 class LocalSearchExplorer:
@@ -396,7 +424,8 @@ class LocalSearchExplorer:
         self.seed = seed
 
     def run(self, goal: OptimizationGoal, starts: int = 50,
-            jobs: int = None) -> ExplorationResult:
+            jobs: int = None,
+            coverage: CoverageMap = None) -> ExplorationResult:
         """Run ``starts`` random performance baselines (paper: "we obtain
         perfect results for Kyber-CCA for as few as 50 random
         performance base-lines").
@@ -405,7 +434,9 @@ class LocalSearchExplorer:
         seeded stream — the exact historical serial sequence — so
         starts become independent work items the executor fans across
         ``jobs`` workers with an identical best-by-(score, start index)
-        merge for any worker count.
+        merge for any worker count.  ``coverage`` folds every feasible
+        descent's final cost vector into the given map (shard-order
+        merged, worker-count independent).
         """
         with TELEMETRY.span("hades.local_search.run",
                             template=self.template.name,
@@ -418,14 +449,18 @@ class LocalSearchExplorer:
                                 min_work_per_job=MIN_STARTS_PER_JOB)
             outputs = run_sharded(
                 _local_search_shard,
-                (self.template, self.context, goal, start_configs),
+                (self.template, self.context, goal, start_configs,
+                 coverage is not None),
                 chunk_bounds(starts, jobs), jobs=jobs)
+            if coverage is not None:
+                for _, cover_dict in outputs:
+                    coverage.merge(cover_dict)
             best = None
             best_rank = None
             feasible = 0
             total_evaluations = 0
             cache_hits = 0
-            for shard in outputs:
+            for shard, _ in outputs:
                 for index, config, metrics, evaluations, hits in shard:
                     total_evaluations += evaluations
                     cache_hits += hits

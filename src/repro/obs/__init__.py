@@ -16,6 +16,15 @@ every subsystem of the reproduction:
   attribution and flamegraph-style collapsed-stack export,
 * :mod:`~repro.obs.history` — the bench trajectory
   (``bench_history.jsonl``) and the run-over-run regression gate,
+* :mod:`~repro.obs.coverage` — log-bucketized counter-vector coverage
+  maps (novelty detection, shard-order merge, canonical export): the
+  campaign-scale steering signal,
+* :mod:`~repro.obs.stream` — bounded-memory streaming sinks
+  (size-rotated JSONL, deterministic head+stride span sampling,
+  periodic live snapshots) replacing dump-at-exit at 10^5+ spans,
+* :mod:`~repro.obs.exposition` — Prometheus text rendering of
+  metrics, perf counters and coverage maps (``scripts/obs_export.py``,
+  the live endpoint format),
 * :mod:`~repro.obs.export` — atomic JSONL/text artifact persistence,
 * :mod:`~repro.obs.report` — per-span aggregation (cumulative/self
   time) behind ``scripts/trace_report.py``,
@@ -38,8 +47,10 @@ with ``REPRO_TELEMETRY=1`` / ``REPRO_PERF=1`` or per call site with
 :func:`enable` / :func:`counting`.
 """
 
+from .coverage import CoverageMap, log_bucket, signature
 from .export import (atomic_write_text, read_jsonl, read_spans,
                      write_jsonl)
+from .exposition import parse_exposition, render, snapshot_exposition
 from .history import (SCHEMA_VERSION, append_entry, append_run,
                       detect_regressions, format_regressions,
                       load_history, make_entry, trend_table)
@@ -49,6 +60,7 @@ from .perf import (PERF, CountingWindow, PerfCounters, PerfSnapshot,
                    counting, get_perf)
 from .profiler import PROFILER, Profiler, parse_collapsed
 from .report import format_metrics, format_report, summarize
+from .stream import HeadStrideSampler, RotatingJsonlSink, SpanStream
 from .telemetry import (TELEMETRY, Telemetry, disable, enable,
                         get_telemetry)
 from .tracer import Span, Tracer
@@ -62,6 +74,9 @@ __all__ = [
     "load_history", "detect_regressions", "format_regressions",
     "trend_table",
     "Span", "Tracer",
+    "CoverageMap", "log_bucket", "signature",
+    "SpanStream", "RotatingJsonlSink", "HeadStrideSampler",
+    "render", "snapshot_exposition", "parse_exposition",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile",
     "read_jsonl", "read_spans", "write_jsonl", "atomic_write_text",
     "summarize", "format_report", "format_metrics",

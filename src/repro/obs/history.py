@@ -24,6 +24,8 @@ import json
 import pathlib
 import time
 
+from .export import atomic_write_text
+
 #: Bump when the entry layout changes incompatibly; old entries are
 #: then skipped (with a warning) rather than misread.
 SCHEMA_VERSION = 1
@@ -93,11 +95,21 @@ def load_history(path, schema: int = SCHEMA_VERSION) -> tuple:
 
 
 def append_entry(path, entry: dict) -> dict:
-    """Append one entry to the history file; returns the entry."""
+    """Append one entry to the history file; returns the entry.
+
+    The append runs as an atomic whole-file rewrite (tmp +
+    ``os.replace``, like every other artifact) rather than an ``"a"``
+    open: an interrupted run can therefore never leave a truncated
+    trailing line behind, which would otherwise cost one skipped-entry
+    warning on every later load for the life of the history file.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("a") as stream:
-        stream.write(json.dumps(entry, sort_keys=True) + "\n")
+    existing = path.read_text() if path.exists() else ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    atomic_write_text(
+        path, existing + json.dumps(entry, sort_keys=True) + "\n")
     return entry
 
 

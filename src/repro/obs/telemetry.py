@@ -93,6 +93,9 @@ class Telemetry:
         self._clock = clock
         self.tracer = Tracer(clock=clock)
         self.metrics = MetricsRegistry()
+        #: Installed :class:`~repro.obs.stream.SpanStream`, if any —
+        #: the parallel runtime pumps it after every shard merge.
+        self.stream = None
 
     # -- switch ------------------------------------------------------------
 

@@ -182,6 +182,14 @@ class Tracer:
         with self._lock:
             self.finished = []
 
+    def drain_records(self) -> list:
+        """Atomically take every finished span as a record and release
+        it — the streaming sink's bounded-memory consumption primitive
+        (:mod:`repro.obs.stream`).  Open spans are untouched."""
+        with self._lock:
+            finished, self.finished = self.finished, []
+        return [span.to_record() for span in finished]
+
     # -- worker shipping (the parallel executor's span merge) --------------
 
     def finished_count(self) -> int:

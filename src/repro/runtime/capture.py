@@ -29,11 +29,14 @@ def worker_setup() -> None:
     parent's open-span stack *and* tracer listeners (the parent's
     profiler must not run inside workers).  Switch states (enabled /
     disabled) are deliberately kept — they are how the parent tells
-    workers whether to count at all.
+    workers whether to count at all.  An inherited streaming sink is
+    detached too: its file handle belongs to the parent, and only the
+    parent may write the merged, shard-ordered stream.
     """
     PERF.reset()
     TELEMETRY.metrics.clear()
     TELEMETRY.tracer.reset_worker()
+    TELEMETRY.stream = None
 
 
 def capture_begin():
@@ -71,7 +74,13 @@ def capture_end(mark) -> dict:
 
 
 def merge_capture(capture) -> None:
-    """Fold one worker task's capture into the parent-process facades."""
+    """Fold one worker task's capture into the parent-process facades.
+
+    When a :class:`~repro.obs.stream.SpanStream` is installed, it is
+    pumped right after the merge: shards merge in shard-index order,
+    so the streamed record order (and therefore the deterministic
+    head+stride sample set) equals the serial order.
+    """
     if not capture:
         return
     perf = capture.get("perf")
@@ -85,3 +94,5 @@ def merge_capture(capture) -> None:
     spans = capture.get("spans")
     if spans:
         TELEMETRY.tracer.merge_records(spans)
+        if TELEMETRY.stream is not None:
+            TELEMETRY.stream.pump()

@@ -163,18 +163,21 @@ def run_sharded(worker, state, shards, jobs: int = None) -> list:
         PERF.inc("runtime.pools")
         PERF.inc("runtime.shards", len(shards))
     _FORK_STATE = (worker, state)
+    results = []
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
                                  mp_context=context,
                                  initializer=_worker_init) as pool:
-            outputs = list(pool.map(_fork_entry, shards))
+            # pool.map yields in submission order, so merging as
+            # results arrive preserves shard order while keeping only
+            # one shard's capture payload in flight — the bounded-
+            # memory contract the streaming sinks rely on.
+            for result, capture in pool.map(_fork_entry, shards):
+                merge_capture(capture)
+                results.append(result)
     finally:
         _FORK_STATE = None
-    results = []
-    for result, capture in outputs:
-        merge_capture(capture)
-        results.append(result)
     return results
 
 

@@ -384,3 +384,98 @@ def test_logging_bridge_quiet_below_level(telemetry, caplog):
     finally:
         logging_bridge.uninstall(bridge)
     assert not [r for r in caplog.records if "hidden" in r.getMessage()]
+
+
+# -- histogram percentile edges (ISSUE 6 satellite) ----------------------
+
+
+def test_histogram_empty_snapshot_has_no_percentiles(telemetry):
+    snap = telemetry.histogram("never.observed").snapshot()
+    assert snap == {"type": "histogram", "count": 0}
+    assert "p50" not in snap and "p99" not in snap
+
+
+def test_histogram_single_sample_percentiles_collapse(telemetry):
+    hist = telemetry.histogram("one.sample")
+    hist.observe(7.5)
+    snap = hist.snapshot()
+    assert snap["count"] == 1
+    assert snap["min"] == snap["max"] == snap["mean"] == 7.5
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 7.5
+
+
+def test_histogram_percentiles_monotone_under_merge_delta():
+    """Shipping worker samples through delta_since/merge_delta must
+    leave the merged distribution's percentiles exact and ordered —
+    nearest-rank over the union, not an average of summaries."""
+    parent = MetricsRegistry()
+    for value in (5.0, 1.0, 3.0):
+        parent.histogram("lat").observe(value)
+    worker = MetricsRegistry()
+    mark = worker.mark()
+    for value in (2.0, 2.0, 9.0, 4.0):
+        worker.histogram("lat").observe(value)
+    parent.merge_delta(worker.delta_since(mark))
+    snap = parent.histogram("lat").snapshot()
+    assert snap["count"] == 7
+    assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"] \
+        <= snap["max"]
+    # nearest-rank over the union [1, 2, 2, 3, 4, 5, 9]
+    assert snap["p50"] == 3.0
+    assert snap["p95"] == 9.0
+    assert snap["p99"] == 9.0
+
+
+def test_histogram_merge_delta_all_equal_stays_degenerate():
+    parent = MetricsRegistry()
+    worker = MetricsRegistry()
+    mark = worker.mark()
+    for _ in range(25):
+        worker.histogram("flat").observe(1.25)
+    parent.merge_delta(worker.delta_since(mark))
+    snap = parent.histogram("flat").snapshot()
+    assert snap["count"] == 25
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 1.25
+
+
+# -- logging bridge edges (ISSUE 6 satellite) ----------------------------
+
+
+def test_logging_bridge_custom_level_mapping(telemetry, caplog):
+    bridge = logging_bridge.install(telemetry, level=logging.WARNING)
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            with telemetry.span("warned"):
+                pass
+    finally:
+        logging_bridge.uninstall(bridge)
+    records = [r for r in caplog.records if "warned" in r.getMessage()]
+    assert records
+    assert all(r.levelno == logging.WARNING for r in records)
+
+
+def test_logging_bridge_passes_structured_fields(telemetry, caplog):
+    bridge = logging_bridge.install(telemetry)
+    try:
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            with telemetry.span("attrs.span", site="alu", bits=13):
+                pass
+    finally:
+        logging_bridge.uninstall(bridge)
+    message = next(r.getMessage() for r in caplog.records
+                   if "attrs.span" in r.getMessage())
+    assert "'site': 'alu'" in message
+    assert "'bits': 13" in message
+    assert "status=ok" in message
+
+
+def test_logging_bridge_disabled_telemetry_is_silent(caplog):
+    quiet = Telemetry(enabled=False)
+    bridge = logging_bridge.install(quiet)
+    try:
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            with quiet.span("invisible"):
+                pass
+    finally:
+        logging_bridge.uninstall(bridge)
+    assert not caplog.records
