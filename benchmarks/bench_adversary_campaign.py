@@ -1,0 +1,223 @@
+"""Coverage-guided adversary campaign at scale (ISSUE 7).
+
+Runs >= 10^5 scheduled adversarial injections (mutated boot images,
+hostile RTOS task programs, delivery replay schedules, bus transaction
+storms) through the coverage-guided generator and asserts the
+robustness acceptance bar:
+
+* the full budget completes inside the wall gate (memo dedup and the
+  sharded executor are what make that feasible);
+* **zero silent corruption on hardened scenarios** — every adversary
+  fired into a hardened family classifies masked / detected /
+  recovered, with any violation delta-debug minimized into a
+  replayable repro;
+* coverage-guided search finds strictly more distinct PERF-signature
+  behaviours than the fixed-grid baseline campaign;
+* the campaign JSON, the corpus and the coverage map are
+  byte-identical serial vs fanned across workers;
+* corpus entries replay bit-identically (the corpus is a repro suite).
+
+Scale knobs: ``REPRO_ADVERSARY_GENERATIONS`` x
+``REPRO_ADVERSARY_POPULATION`` (default 10 x 10000 = the 10^5 budget;
+CI's time-boxed job runs 10 x 1000).
+
+Artifacts: ``results/adversary_campaign.json`` (canonical campaign
+JSON), ``results/adversary_corpus.json`` (replayable corpus),
+``results/coverage_adversary.json`` (the steering coverage map),
+``results/adversary_repros.json`` (minimized hardening violations,
+empty when the gate holds) and the human summary table.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import write_table
+from repro.faults.adversary import standard_adversary_campaign
+from repro.faults.campaign import standard_campaign
+from repro.obs import CoverageMap, atomic_write_text
+from repro.runtime import available_cpus
+
+SEED = 2026
+GENERATIONS = int(os.environ.get("REPRO_ADVERSARY_GENERATIONS", "10"))
+POPULATION = int(os.environ.get("REPRO_ADVERSARY_POPULATION", "10000"))
+WALL_BUDGET_S = 360.0
+
+#: Serial-vs-parallel parity runs at a reduced budget: byte equality
+#: is structural (parent-side folding), not statistical, so 10^3
+#: injections pin it as well as 10^5 would.
+PARITY_GENERATIONS = 4
+PARITY_POPULATION = 250
+PARALLEL_JOBS = 2
+
+#: Corpus entries replayed for the bit-identity spot check.
+REPLAY_SAMPLE = 20
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    coverage = CoverageMap("adversary")
+    start = time.perf_counter()
+    result = standard_adversary_campaign(
+        seed=SEED, generations=GENERATIONS, population=POPULATION,
+        coverage=coverage)
+    wall = time.perf_counter() - start
+    return result, wall, coverage
+
+
+def test_campaign_meets_budget(campaign):
+    result, wall, _ = campaign
+    assert result.injections == GENERATIONS * POPULATION
+    assert result.executed + result.memo_hits == result.injections
+    assert wall < WALL_BUDGET_S, (
+        f"adversary campaign took {wall:.1f}s for "
+        f"{result.injections} injections")
+
+
+def test_zero_silent_corruption_on_hardened(campaign):
+    """The hardening gate: no adversary drives a hardened family to
+    silent corruption or crash."""
+    result, _, _ = campaign
+    assert result.hardened_violations() == []
+    for family in result.hardened:
+        outcomes = result.by_family.get(family, {})
+        assert outcomes.get("silent_corruption", 0) == 0, outcomes
+        assert outcomes.get("crash", 0) == 0, outcomes
+
+
+def test_flat_baseline_still_exhibits_silent_corruption(campaign):
+    """The unhardened flat-RTOS family keeps demonstrating the defect
+    class the PMP port removes — the control that proves the gate is
+    not vacuous."""
+    result, _, _ = campaign
+    flat = result.by_family.get("adv-task-flat", {})
+    assert flat.get("silent_corruption", 0) > 0, flat
+
+
+def test_memo_dedup_removes_re_executions(campaign):
+    """Mutation converges on revisited op sequences; the memo must be
+    absorbing them rather than re-running the subsystems."""
+    result, _, _ = campaign
+    assert result.memo_hits > 0
+    assert result.executed < result.injections
+
+
+def test_coverage_beats_fixed_grid_baseline(campaign):
+    """Coverage-guided search must find strictly more distinct
+    PERF-signature behaviours than the fixed 5-scenario grid."""
+    result, _, coverage = campaign
+    baseline_cover = CoverageMap("fault_campaign")
+    standard_campaign(seed=SEED, injections=240,
+                      coverage=baseline_cover)
+    assert coverage.distinct() > baseline_cover.distinct(), (
+        f"adversary {coverage.distinct()} vs "
+        f"fixed grid {baseline_cover.distinct()}")
+    assert result.coverage_distinct == coverage.distinct()
+
+
+def test_parallel_campaign_byte_identical(report_dir):
+    """The same campaign serially and fanned across workers: campaign
+    JSON, corpus JSON and coverage map all byte-identical."""
+    serial_cover = CoverageMap("adversary")
+    start = time.perf_counter()
+    serial = standard_adversary_campaign(
+        seed=SEED, generations=PARITY_GENERATIONS,
+        population=PARITY_POPULATION, jobs=1, coverage=serial_cover)
+    serial_wall = time.perf_counter() - start
+
+    parallel_cover = CoverageMap("adversary")
+    start = time.perf_counter()
+    parallel = standard_adversary_campaign(
+        seed=SEED, generations=PARITY_GENERATIONS,
+        population=PARITY_POPULATION, jobs=PARALLEL_JOBS,
+        coverage=parallel_cover)
+    parallel_wall = time.perf_counter() - start
+
+    assert parallel.canonical_json() == serial.canonical_json()
+    assert parallel.corpus_json() == serial.corpus_json()
+    assert parallel_cover.to_json() == serial_cover.to_json()
+
+    injections = PARITY_GENERATIONS * PARITY_POPULATION
+    write_table(
+        report_dir, "adversary_campaign_parallel",
+        f"Adversary campaign parity: {injections} injections, serial "
+        f"vs {PARALLEL_JOBS} workers ({available_cpus()} CPUs "
+        f"available), byte-identical campaign/corpus/coverage JSON",
+        ["mode", "jobs", "wall", "inj/s"],
+        [["serial", 1, f"{serial_wall:.3f} s",
+          f"{injections / serial_wall:,.0f}"],
+         ["sharded", PARALLEL_JOBS, f"{parallel_wall:.3f} s",
+          f"{injections / parallel_wall:,.0f}"]])
+
+
+def test_corpus_replays_bit_identical(campaign):
+    """Corpus entries are replayable repros: re-executing from the
+    record reproduces outcome, reason and digest exactly."""
+    from repro.faults.adversary import replay
+    result, _, _ = campaign
+    entries = result.corpus_dict()["entries"]
+    assert entries, "campaign produced an empty corpus"
+    step = max(1, len(entries) // REPLAY_SAMPLE)
+    for entry in entries[::step][:REPLAY_SAMPLE]:
+        record = replay(entry)
+        assert record.outcome == entry["outcome"], entry
+        assert record.reason == entry["reason"], entry
+        assert record.digest == entry["digest"], entry
+
+
+def test_every_family_and_outcome_class_exercised(campaign):
+    result, _, _ = campaign
+    assert sorted(result.by_family) == sorted(result.families)
+    assert set(result.totals) >= {"detected", "masked"}
+    for family, outcomes in result.by_family.items():
+        assert sum(outcomes.values()) > 0, family
+
+
+def test_write_artifacts(campaign, report_dir):
+    result, wall, coverage = campaign
+    path = result.write(report_dir / "adversary_campaign.json")
+    corpus_path = result.write_corpus(report_dir /
+                                      "adversary_corpus.json")
+    coverage.write(report_dir / "coverage_adversary.json")
+    atomic_write_text(
+        report_dir / "adversary_repros.json",
+        json.dumps({"schema_version": 1, "name": "adversary-repros",
+                    "seed": result.seed,
+                    "violations": result.violations},
+                   indent=2, sort_keys=True) + "\n")
+    assert path.exists() and corpus_path.exists()
+
+    rows = []
+    for family in sorted(result.by_family):
+        outcomes = result.by_family[family]
+        rows.append([
+            family,
+            "yes" if family in result.hardened else "no",
+            sum(outcomes.values()),
+            outcomes.get("masked", 0),
+            outcomes.get("detected", 0),
+            outcomes.get("recovered", 0),
+            outcomes.get("silent_corruption", 0),
+            outcomes.get("crash", 0),
+        ])
+    rows.append([
+        "TOTAL", "-", result.injections,
+        result.totals.get("masked", 0),
+        result.totals.get("detected", 0),
+        result.totals.get("recovered", 0),
+        result.totals.get("silent_corruption", 0),
+        result.totals.get("crash", 0),
+    ])
+    write_table(
+        report_dir, "adversary_campaign_summary",
+        f"Adversary campaign: seed={result.seed}, "
+        f"{result.injections} injections "
+        f"({result.executed} executed, {result.memo_hits} memo hits) "
+        f"in {wall:.1f}s; corpus {len(result.corpus)}, coverage "
+        f"{result.coverage_distinct} distinct, hardening violations "
+        f"{len(result.violations)}",
+        ["family", "hardened", "injections", "masked", "detected",
+         "recovered", "silent-corrupt", "crash"],
+        rows)

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Summarize, run or replay an adversary campaign from the command
+line.
+
+    PYTHONPATH=src python scripts/adversary_report.py \
+        benchmarks/results/adversary_campaign.json
+
+    PYTHONPATH=src python scripts/adversary_report.py --run \
+        --seed 2026 --generations 8 --population 128 \
+        --out adversary_campaign.json --corpus-out adversary_corpus.json
+
+    PYTHONPATH=src python scripts/adversary_report.py \
+        --replay benchmarks/results/adversary_corpus.json
+
+Reads the canonical campaign JSON written by
+``benchmarks/bench_adversary_campaign.py`` (or produces a fresh one
+with ``--run``) and prints outcome totals, the per-family breakdown,
+coverage/corpus/memo statistics and every hardening-gate violation
+with its delta-debug-minimized op sequence.  ``--replay`` re-executes
+each entry of a corpus artifact and verifies the recorded outcome,
+reason and digest reproduce bit-identically — the corpus *is* the
+repro suite.  Exit code 1 on hardening violations, replay divergence
+or a malformed artifact (one line on stderr, never a traceback).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+
+def _fail(message: str) -> int:
+    """Operator-grade failure: one line on stderr, exit code 1 — a
+    missing or corrupt artifact is a usage problem, not a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def summarize(data: dict, worst: int = 10) -> int:
+    """Print the human summary of one adversary campaign dict; exit
+    status 1 when the hardening gate tripped."""
+    adversary = data["adversary"]
+    totals = data["totals"]
+    print(f"adversary campaign: seed={adversary['seed']} "
+          f"generations={adversary['generations']} "
+          f"population={adversary['population']}")
+    print(f"injections: {adversary['injections']} "
+          f"(executed {adversary['executed']}, "
+          f"memo hits {adversary['memo_hits']})")
+    print(f"families: {','.join(adversary['families'])}")
+    print(f"hardened: {','.join(adversary['hardened'])} "
+          f"(violations: {data['hardened_violations']})")
+    print("totals: " + ", ".join(f"{k}={v}"
+                                 for k, v in sorted(totals.items())))
+    coverage = data["coverage"]
+    print(f"coverage: {coverage['distinct']} distinct signatures over "
+          f"{coverage['observations']} observations; "
+          f"corpus: {data['corpus_size']} entries")
+
+    print("\noutcomes by family:")
+    by_family = data["by_family"]
+    width = max((len(k) for k in by_family), default=0)
+    for family in sorted(by_family):
+        parts = ", ".join(f"{name}={count}" for name, count
+                          in sorted(by_family[family].items()))
+        print(f"  {family.ljust(width)}  {parts}")
+
+    violations = data["violations"]
+    if violations:
+        print(f"\nhardening violations "
+              f"({min(worst, len(violations))} of {len(violations)}):")
+        for violation in violations[:worst]:
+            ops = violation.get("minimized_ops",
+                                violation.get("ops", []))
+            print(f"  {violation['family']:18s} "
+                  f"{violation['outcome']:18s} "
+                  f"{violation['reason']:24s} "
+                  f"seed={violation['seed']} ops={json.dumps(ops)}")
+    else:
+        print("\nno hardening violations.")
+    return 1 if data["hardened_violations"] else 0
+
+
+def replay_corpus(path: pathlib.Path, limit: int = None) -> int:
+    """Re-execute corpus entries and verify bit-identical repro."""
+    from repro.faults.adversary import load_corpus, replay
+    entries = load_corpus(path)
+    if limit is not None:
+        entries = entries[:limit]
+    divergent = 0
+    for index, entry in enumerate(entries):
+        record = replay(entry)
+        same = (record.outcome == entry.get("outcome")
+                and record.reason == entry.get("reason")
+                and record.digest == entry.get("digest"))
+        if not same:
+            divergent += 1
+            print(f"  DIVERGED #{index} {entry.get('family')}: "
+                  f"recorded {entry.get('outcome')}/"
+                  f"{entry.get('reason')} digest="
+                  f"{str(entry.get('digest'))[:16]}, replayed "
+                  f"{record.outcome}/{record.reason} digest="
+                  f"{record.digest[:16]}")
+    print(f"replayed {len(entries)} corpus entries from {path}: "
+          f"{len(entries) - divergent} bit-identical, "
+          f"{divergent} divergent")
+    return 1 if divergent else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarize, run or replay an adversary campaign")
+    parser.add_argument("artifact", nargs="?", type=pathlib.Path,
+                        default=pathlib.Path(
+                            "benchmarks/results/"
+                            "adversary_campaign.json"),
+                        help="campaign JSON (default: the bench "
+                             "artifact)")
+    parser.add_argument("--worst", type=int, default=10,
+                        help="max violation rows to print")
+    parser.add_argument("--run", action="store_true",
+                        help="run a fresh standard adversary campaign "
+                             "instead of reading an artifact")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="campaign seed (with --run)")
+    parser.add_argument("--generations", type=int, default=8,
+                        help="generations to evolve (with --run)")
+    parser.add_argument("--population", type=int, default=128,
+                        help="candidates per generation (with --run)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (with --run; default: "
+                             "REPRO_JOBS)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the campaign JSON here "
+                             "(with --run)")
+    parser.add_argument("--corpus-out", type=pathlib.Path,
+                        default=None,
+                        help="write the replayable corpus JSON here "
+                             "(with --run)")
+    parser.add_argument("--replay", type=pathlib.Path, default=None,
+                        metavar="CORPUS",
+                        help="replay a corpus artifact and verify "
+                             "recorded outcomes reproduce")
+    parser.add_argument("--replay-limit", type=int, default=None,
+                        help="replay at most this many entries")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        if not args.replay.exists():
+            return _fail(f"no such corpus: {args.replay}")
+        try:
+            return replay_corpus(args.replay, limit=args.replay_limit)
+        except ValueError as exc:
+            return _fail(f"{args.replay}: {exc}")
+
+    if args.run:
+        from repro.faults.adversary import standard_adversary_campaign
+        result = standard_adversary_campaign(
+            seed=args.seed, generations=args.generations,
+            population=args.population, jobs=args.jobs)
+        if args.out is not None:
+            result.write(args.out)
+            print(f"wrote {args.out}")
+        if args.corpus_out is not None:
+            result.write_corpus(args.corpus_out)
+            print(f"wrote {args.corpus_out}")
+        data = result.to_dict()
+    else:
+        if not args.artifact.exists():
+            return _fail(f"no such artifact: {args.artifact} "
+                         f"(run the bench first, or use --run)")
+        try:
+            data = json.loads(args.artifact.read_text())
+        except ValueError as exc:
+            return _fail(f"{args.artifact}: malformed JSON ({exc})")
+    try:
+        return summarize(data, worst=args.worst)
+    except (KeyError, TypeError, AttributeError) as exc:
+        return _fail(f"{args.artifact}: not an adversary campaign "
+                     f"artifact ({exc!r})")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

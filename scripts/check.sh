@@ -29,6 +29,14 @@ echo "== fault campaign summary =="
 python scripts/fault_report.py benchmarks/results/fault_campaign.json \
     --by scenario --worst 5
 
+echo "== adversary campaign smoke (small budget) =="
+python scripts/adversary_report.py --run --seed 2026 \
+    --generations 3 --population 32 \
+    --out benchmarks/results/adversary_smoke.json \
+    --corpus-out benchmarks/results/adversary_smoke_corpus.json
+python scripts/adversary_report.py --replay \
+    benchmarks/results/adversary_smoke_corpus.json --replay-limit 8
+
 echo "== trace report =="
 python scripts/trace_report.py benchmarks/results/trace.jsonl \
     --metrics benchmarks/results/metrics.json \

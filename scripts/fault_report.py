@@ -113,6 +113,17 @@ def main(argv=None) -> int:
             data = json.loads(args.artifact.read_text())
         except ValueError as exc:
             return _fail(f"{args.artifact}: malformed JSON ({exc})")
+    if isinstance(data, dict) and "adversary" in data:
+        # An adversary-campaign artifact (coverage-guided fuzzing, not
+        # the fixed grid): same taxonomy, different breakdown — the
+        # adversary summarizer owns it.
+        sys.path.insert(0, str(pathlib.Path(__file__).parent))
+        import adversary_report
+        try:
+            return adversary_report.summarize(data, worst=args.worst)
+        except (KeyError, TypeError, AttributeError) as exc:
+            return _fail(f"{args.artifact}: not a campaign artifact "
+                         f"({exc!r})")
     try:
         return summarize(data, by=args.by, worst=args.worst)
     except (KeyError, TypeError, AttributeError) as exc:

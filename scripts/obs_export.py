@@ -63,6 +63,11 @@ def main(argv=None) -> int:
                         help="coverage map JSON path or glob; may "
                              "repeat (default: "
                              "benchmarks/results/coverage_*.json)")
+    parser.add_argument("--corpus", action="append", default=None,
+                        metavar="GLOB",
+                        help="adversary corpus JSON path or glob; may "
+                             "repeat (default: benchmarks/results/"
+                             "adversary_corpus*.json)")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="write the document here (atomically) "
                              "instead of stdout")
@@ -81,12 +86,21 @@ def main(argv=None) -> int:
             payload = _load_json(pathlib.Path(path))
             if payload is not None:
                 coverage.append(payload)
+    corpus_patterns = args.corpus if args.corpus is not None \
+        else [str(RESULTS / "adversary_corpus*.json")]
+    corpus = []
+    for pattern in corpus_patterns:
+        for path in sorted(glob.glob(pattern)):
+            payload = _load_json(pathlib.Path(path))
+            if payload is not None:
+                corpus.append(payload)
 
-    if metrics is None and perf is None and not coverage:
+    if metrics is None and perf is None and not coverage and not corpus:
         return _fail("no readable input artifacts (run the benches "
                      "with REPRO_TELEMETRY=1 REPRO_PERF=1 first)")
 
-    text = render(metrics=metrics, perf=perf, coverage=coverage)
+    text = render(metrics=metrics, perf=perf, coverage=coverage,
+                  corpus=corpus)
     if args.check:
         try:
             families = parse_exposition(text)

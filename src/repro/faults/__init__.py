@@ -20,7 +20,12 @@ anecdotes into systematic, seeded measurements:
   (measured boot + attestation, attested delivery, RTOS protected and
   flat baseline, SoC bus/CPU fabric).  Import it explicitly — it pulls
   in the TEE/RTOS/SoC stacks, which in turn import this package for
-  their hook sites, so it must not load eagerly here.
+  their hook sites, so it must not load eagerly here;
+* :mod:`~repro.faults.adversary` — seeded, coverage-guided adversary
+  generation and fuzzing over the same subsystems (mutated boot
+  images, hostile task programs, delivery replay schedules, bus
+  storms) with delta-debug minimized repros.  Import it explicitly
+  for the same reason as :mod:`~repro.faults.scenarios`.
 
 Quick use::
 

@@ -89,6 +89,14 @@ class CoverageMap:
         seen.add(sig)
         return True
 
+    def novel(self, group: str, vector) -> bool:
+        """Would :meth:`observe` report this vector as novel?  A pure
+        peek — no signature is recorded, no observation counted — for
+        generators that must *rank* candidates (schedule neighborhood
+        mutations) before committing any of them to the map."""
+        sig = vector if isinstance(vector, tuple) else signature(vector)
+        return sig not in self._groups.get(group, ())
+
     # -- reading -----------------------------------------------------------
 
     def groups(self) -> list:

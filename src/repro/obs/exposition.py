@@ -126,12 +126,34 @@ def render_coverage(payload: dict, prefix: str = "repro") -> list:
     return lines
 
 
+def render_corpus(payload: dict, prefix: str = "repro") -> list:
+    """Exposition lines for an adversary corpus artifact (the
+    replayable keeper set written by the adversary campaign): corpus
+    size per family and outcome, so a scrape shows at a glance where
+    coverage-novel behaviour is accumulating."""
+    entries_name = sanitize_name("adversary_corpus_entries", prefix)
+    name = escape_label(payload.get("name", "adversary-corpus"))
+    counts = {}
+    for entry in payload.get("entries") or ():
+        key = (str(entry.get("family", "unknown")),
+               str(entry.get("outcome", "unknown")))
+        counts[key] = counts.get(key, 0) + 1
+    lines = [f"# TYPE {entries_name} gauge"]
+    for (family, outcome), count in sorted(counts.items()):
+        labels = (f'corpus="{name}",family="{escape_label(family)}",'
+                  f'outcome="{escape_label(outcome)}"')
+        lines.append(f"{entries_name}{{{labels}}} "
+                     f"{format_value(count)}")
+    return lines
+
+
 def render(metrics: dict = None, perf: dict = None,
-           coverage=None, prefix: str = "repro") -> str:
+           coverage=None, corpus=None, prefix: str = "repro") -> str:
     """One exposition document from any subset of surfaces.
 
-    ``coverage`` accepts a single exported dict or an iterable of
-    them.  The document ends with a newline, as scrapers require.
+    ``coverage`` and ``corpus`` accept a single exported dict or an
+    iterable of them.  The document ends with a newline, as scrapers
+    require.
     """
     lines = []
     if metrics:
@@ -143,6 +165,11 @@ def render(metrics: dict = None, perf: dict = None,
             else list(coverage)
         for payload in payloads:
             lines.extend(render_coverage(payload, prefix))
+    if corpus:
+        payloads = [corpus] if isinstance(corpus, dict) \
+            else list(corpus)
+        for payload in payloads:
+            lines.extend(render_corpus(payload, prefix))
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -144,7 +144,8 @@ def _fork_entry(shard):
     return result, capture_end(mark)
 
 
-def run_sharded(worker, state, shards, jobs: int = None) -> list:
+def run_sharded(worker, state, shards, jobs: int = None,
+                fold=None) -> list:
     """``[worker(state, shard) for shard in shards]``, fanned across
     processes; results come back in shard order.
 
@@ -153,17 +154,29 @@ def run_sharded(worker, state, shards, jobs: int = None) -> list:
     (keep them plain data).  Worker-side PERF/telemetry activity is
     captured per task and merged into the parent in shard order before
     returning, so observable counter totals match a serial run.
+
+    ``fold`` turns the call into a bounded-memory streaming reduction:
+    each shard result is passed to ``fold(result)`` the moment it (and
+    its telemetry capture) is merged — still in shard order — instead
+    of being accumulated, and the call returns ``None``.  This is the
+    corpus-merge hook for campaign-scale consumers: the parent folds
+    each chunk's records/coverage into its aggregates while at most
+    one shard payload is in flight, serially and in parallel alike.
     """
     shards = list(shards)
     jobs = resolve_jobs(jobs, work=len(shards))
     if jobs <= 1 or len(shards) <= 1:
-        return [worker(state, shard) for shard in shards]
+        if fold is None:
+            return [worker(state, shard) for shard in shards]
+        for shard in shards:
+            fold(worker(state, shard))
+        return None
     global _FORK_STATE
     if PERF.enabled:
         PERF.inc("runtime.pools")
         PERF.inc("runtime.shards", len(shards))
     _FORK_STATE = (worker, state)
-    results = []
+    results = [] if fold is None else None
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=min(jobs, len(shards)),
@@ -175,7 +188,10 @@ def run_sharded(worker, state, shards, jobs: int = None) -> list:
             # memory contract the streaming sinks rely on.
             for result, capture in pool.map(_fork_entry, shards):
                 merge_capture(capture)
-                results.append(result)
+                if fold is None:
+                    results.append(result)
+                else:
+                    fold(result)
     finally:
         _FORK_STATE = None
     return results

@@ -54,12 +54,25 @@ class DeliveryError(ValueError):
     * ``"attestation-rejected"`` — the publisher refused the report
       or key binding,
     * ``"transport-timeout"`` — retries exhausted the channel's
-      delivery deadline.
+      delivery deadline,
+    * ``"replay"`` — the package's label binding does not match the
+      label this delivery expects: a replayed, rolled-back or
+      cross-session package (a corrupted label field surfaces the
+      same way — either case, the package is not the one this
+      exchange produced).
+
+    Errors raised after retry exhaustion additionally carry
+    :attr:`attempts` (how many tries the channel made) and
+    :attr:`last_reason` (the reason code of the final failed attempt);
+    both are ``None`` on single-step failures like unwrap errors.
     """
 
-    def __init__(self, reason: str, message: str = ""):
+    def __init__(self, reason: str, message: str = "",
+                 attempts: int = None, last_reason: str = None):
         super().__init__(message or reason)
         self.reason = reason
+        self.attempts = attempts
+        self.last_reason = last_reason
 
 
 class EnclaveKemIdentity:
@@ -76,7 +89,8 @@ class EnclaveKemIdentity:
         (fits easily in the 1024-byte field)."""
         return _BINDING_PREFIX + sha3_256(self.ek)
 
-    def unwrap(self, package: "SealedPackage") -> bytes:
+    def unwrap(self, package: "SealedPackage",
+               expected_label: bytes = None) -> bytes:
         """Decapsulate and decrypt a delivered payload.
 
         Raises :class:`DeliveryError` with reason ``"decaps"`` for a
@@ -85,7 +99,21 @@ class EnclaveKemIdentity:
         surfaces: decapsulation of a tampered ciphertext silently
         yields an unrelated shared secret, and the derived key then
         fails authentication.
+
+        ``expected_label`` pins the label the caller's protocol state
+        says this package must carry (the :class:`DeliveryChannel`
+        binds session and sequence number into it).  A mismatch
+        raises reason ``"replay"`` *before* any cryptography runs:
+        an AEAD-valid package from another delivery — a recorded
+        session replayed, an old payload rolled back — is rejected
+        outright instead of decrypting to stale plaintext.
         """
+        if expected_label is not None \
+                and package.label != expected_label:
+            raise DeliveryError(
+                "replay",
+                f"package label {package.label!r} does not match "
+                f"the expected binding {expected_label!r}")
         try:
             shared = self._kem.decaps(self._dk, package.kem_ciphertext)
         except ValueError as exc:
@@ -204,6 +232,7 @@ class DeliveryOutcome:
     elapsed: int                      # abstract transport time units
     recovered: bool                   # succeeded after >= 1 retry
     fault: FaultReport = None         # set only on failure
+    last_reason: str = ""             # reason of the final failed try
 
     @property
     def ok(self) -> bool:
@@ -225,11 +254,22 @@ class DeliveryChannel:
     The transport is where ``tee.delivery.transport`` faults land:
     drop (package lost), corrupt (single-bit upset on the wire) and
     delay (adds ``magnitude`` time units toward the deadline).
+
+    Every package is additionally bound to this channel's ``session``
+    identifier and a per-delivery sequence number: the publisher seals
+    under a wire label ``label | session | sequence`` and the enclave
+    refuses (reason ``"replay"``) any package whose label is not the
+    one the current delivery expects.  That closes the rollback attack
+    the adversary campaign found: an AEAD-valid package recorded from
+    an earlier session (stale model weights, a downgraded firmware
+    blob) authenticates perfectly, so without the binding the enclave
+    would silently accept it.
     """
 
     def __init__(self, publisher: AttestedPublisher,
                  enclave: EnclaveKemIdentity, max_attempts: int = 4,
-                 backoff_base: int = 1, deadline: int = 64):
+                 backoff_base: int = 1, deadline: int = 64,
+                 session: bytes = b""):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.publisher = publisher
@@ -237,6 +277,14 @@ class DeliveryChannel:
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.deadline = deadline
+        self.session = session
+        self._sequence = 0
+
+    def _wire_label(self, label: bytes, sequence: int) -> bytes:
+        """The sealed label: caller label, channel session and the
+        monotonically increasing delivery sequence number."""
+        return b"|".join((label, self.session,
+                          sequence.to_bytes(4, "big")))
 
     def _transport(self, wire: bytes):
         """One traversal of the faultable wire.
@@ -266,15 +314,18 @@ class DeliveryChannel:
         """
         elapsed = 0
         last_reason = "transport-timeout"
+        sequence = self._sequence
+        self._sequence += 1
+        wire_label = self._wire_label(label, sequence)
         for attempt in range(1, self.max_attempts + 1):
             # Fresh encapsulation entropy per attempt: a replayed
             # package is never re-sent, so a corrupting channel cannot
             # collect two copies of the same ciphertext.
-            entropy = sha3_256(b"delivery-attempt" + label
+            entropy = sha3_256(b"delivery-attempt" + wire_label
                                + attempt.to_bytes(4, "big"))
             package = self.publisher.deliver(report_bytes,
                                              self.enclave.ek, payload,
-                                             label=label,
+                                             label=wire_label,
                                              entropy=entropy)
             if package is None:
                 return DeliveryOutcome(
@@ -282,7 +333,8 @@ class DeliveryChannel:
                     recovered=False, fault=FaultReport(
                         component="tee.delivery",
                         outcome=Outcome.DETECTED,
-                        reason="attestation-rejected"))
+                        reason="attestation-rejected"),
+                    last_reason="attestation-rejected")
             received, delay = self._transport(package.encode())
             elapsed += delay
             if elapsed > self.deadline:
@@ -293,7 +345,8 @@ class DeliveryChannel:
             if received is not None:
                 try:
                     decoded = SealedPackage.decode(received)
-                    clear = self.enclave.unwrap(decoded)
+                    clear = self.enclave.unwrap(
+                        decoded, expected_label=wire_label)
                     return DeliveryOutcome(
                         payload=clear, attempts=attempt,
                         elapsed=elapsed, recovered=attempt > 1)
@@ -309,4 +362,27 @@ class DeliveryChannel:
             recovered=False, fault=FaultReport(
                 component="tee.delivery", outcome=Outcome.DETECTED,
                 reason="transport-timeout",
-                detail=f"last failure: {last_reason}"))
+                detail=f"last failure: {last_reason}"),
+            last_reason=last_reason)
+
+    def deliver_or_raise(self, report_bytes: bytes, payload: bytes,
+                         label: bytes = b"payload") -> DeliveryOutcome:
+        """:meth:`deliver`, raising on failure instead of returning a
+        fault-bearing outcome.
+
+        The raised :class:`DeliveryError` carries the channel's fault
+        reason plus :attr:`~DeliveryError.attempts` and
+        :attr:`~DeliveryError.last_reason`, with the pinned message
+        shape ``delivery failed after N attempts (last: <reason>)`` —
+        callers that log the exception get the retry story in one
+        line.
+        """
+        outcome = self.deliver(report_bytes, payload, label=label)
+        if not outcome.ok:
+            raise DeliveryError(
+                outcome.fault.reason,
+                f"delivery failed after {outcome.attempts} attempts "
+                f"(last: {outcome.last_reason})",
+                attempts=outcome.attempts,
+                last_reason=outcome.last_reason)
+        return outcome

@@ -151,3 +151,88 @@ class TestDeliveryChannel:
     def test_rejects_zero_attempts(self, rig):
         with pytest.raises(ValueError):
             _channel(rig, max_attempts=0)
+
+
+class TestRetryExhaustionDiagnostics:
+    """ISSUE 7 satellite: after retry exhaustion the raised
+    :class:`DeliveryError` carries the attempt count and the last
+    transport reason code, with a pinned message shape."""
+
+    def test_message_shape_pinned(self, rig):
+        with injected(FaultSpec("tee.delivery.transport",
+                                TRANSPORT_DROP, count=100)):
+            with pytest.raises(DeliveryError) as excinfo:
+                _channel(rig, max_attempts=4).deliver_or_raise(
+                    rig["report_bytes"], PAYLOAD)
+        exc = excinfo.value
+        assert str(exc) == ("delivery failed after 4 attempts "
+                            "(last: transport-drop)")
+        assert exc.reason == "transport-timeout"
+        assert exc.attempts == 4
+        assert exc.last_reason == "transport-drop"
+
+    def test_outcome_carries_last_reason(self, rig):
+        with injected(FaultSpec("tee.delivery.transport",
+                                TRANSPORT_DROP, count=100)):
+            outcome = _channel(rig, max_attempts=3).deliver(
+                rig["report_bytes"], PAYLOAD)
+        assert not outcome.ok
+        assert outcome.last_reason == "transport-drop"
+
+    def test_success_passes_through(self, rig):
+        outcome = _channel(rig).deliver_or_raise(rig["report_bytes"],
+                                                 PAYLOAD)
+        assert outcome.ok
+        assert outcome.payload == PAYLOAD
+
+    def test_single_step_errors_leave_diagnostics_unset(self, rig):
+        package = SealedPackage(label=b"l", kem_ciphertext=b"short",
+                                nonce=bytes(12), sealed_payload=b"x")
+        with pytest.raises(DeliveryError) as excinfo:
+            rig["kem"].unwrap(package)
+        assert excinfo.value.attempts is None
+        assert excinfo.value.last_reason is None
+
+
+class TestReplayRejection:
+    """ISSUE 7: the session + sequence label binding rejects replayed
+    and rolled-back packages before any cryptography runs."""
+
+    def _sealed(self, rig, label, payload=PAYLOAD):
+        return rig["publisher"].deliver(rig["report_bytes"],
+                                        rig["kem"].ek, payload,
+                                        label=label, entropy=bytes(32))
+
+    def test_matching_binding_unwraps(self, rig):
+        channel = _channel(rig, session=b"s1")
+        label = channel._wire_label(b"payload", 0)
+        package = self._sealed(rig, label)
+        assert rig["kem"].unwrap(package,
+                                 expected_label=label) == PAYLOAD
+
+    def test_cross_session_replay_rejected(self, rig):
+        stale = _channel(rig, session=b"session-old") \
+            ._wire_label(b"weights", 0)
+        live = _channel(rig, session=b"session-live") \
+            ._wire_label(b"weights", 0)
+        package = self._sealed(rig, stale, payload=b"stale-weights")
+        with pytest.raises(DeliveryError) as excinfo:
+            rig["kem"].unwrap(package, expected_label=live)
+        assert excinfo.value.reason == "replay"
+
+    def test_sequence_rollback_rejected(self, rig):
+        channel = _channel(rig, session=b"s1")
+        old = self._sealed(rig, channel._wire_label(b"payload", 0))
+        # Protocol state has moved on to sequence 1: re-presenting
+        # the sequence-0 package is a rollback, not a delivery.
+        with pytest.raises(DeliveryError) as excinfo:
+            rig["kem"].unwrap(
+                old, expected_label=channel._wire_label(b"payload", 1))
+        assert excinfo.value.reason == "replay"
+
+    def test_channel_advances_sequence_per_delivery(self, rig):
+        channel = _channel(rig, session=b"s1")
+        first = channel.deliver(rig["report_bytes"], PAYLOAD)
+        second = channel.deliver(rig["report_bytes"], PAYLOAD)
+        assert first.ok and second.ok
+        assert channel._sequence == 2

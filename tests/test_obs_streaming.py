@@ -333,8 +333,31 @@ def test_obs_export_missing_everything_is_one_line_error(tmp_path):
         "obs_export.py",
         "--metrics", str(tmp_path / "nope.json"),
         "--perf", str(tmp_path / "nope2.json"),
-        "--coverage", str(tmp_path / "coverage_*.json"))
+        "--coverage", str(tmp_path / "coverage_*.json"),
+        "--corpus", str(tmp_path / "adversary_corpus*.json"))
     _assert_one_line_error(proc)
+
+
+def test_obs_export_renders_adversary_corpus(tmp_path):
+    corpus = tmp_path / "adversary_corpus.json"
+    corpus.write_text(json.dumps({
+        "schema_version": 1, "name": "adversary-corpus", "seed": 1,
+        "entries": [
+            {"family": "adv-bus", "outcome": "detected"},
+            {"family": "adv-bus", "outcome": "detected"},
+            {"family": "adv-task-flat",
+             "outcome": "silent_corruption"},
+        ]}))
+    proc = _run_script(
+        "obs_export.py",
+        "--metrics", str(tmp_path / "nope.json"),
+        "--perf", str(tmp_path / "nope2.json"),
+        "--coverage", str(tmp_path / "coverage_*.json"),
+        "--corpus", str(corpus), "--check")
+    assert proc.returncode == 0, proc.stderr
+    assert ('repro_adversary_corpus_entries{corpus="adversary-corpus"'
+            ',family="adv-bus",outcome="detected"} 2') in proc.stdout
+    assert 'outcome="silent_corruption"} 1' in proc.stdout
 
 
 def test_obs_export_malformed_input_is_one_line_error(tmp_path):
