@@ -38,6 +38,25 @@ def _fail(message: str) -> int:
     return 1
 
 
+def audit_summary(path: pathlib.Path) -> None:
+    """Print the detection-summary block for one audit ledger (raises
+    :class:`repro.obs.audit.AuditVerificationError` on a corrupt
+    ledger — callers map that to the one-line error contract)."""
+    from repro.obs.audit import load_ledger_records, summarize_records
+    summary = summarize_records(load_ledger_records(path))
+    severities = summary["by_severity"]
+    print(f"\naudit: {summary['events']} events from {path} "
+          + "(" + ", ".join(f"{k}={v}" for k, v
+                            in sorted(severities.items())) + ")")
+    detections = summary["detections"]
+    if detections:
+        print("detections: "
+              + ", ".join(f"{k}={v}" for k, v
+                          in sorted(detections.items())))
+    else:
+        print("detections: none")
+
+
 def summarize(data: dict, worst: int = 10) -> int:
     """Print the human summary of one adversary campaign dict; exit
     status 1 when the hardening gate tripped."""
@@ -145,6 +164,15 @@ def main(argv=None) -> int:
                              "recorded outcomes reproduce")
     parser.add_argument("--replay-limit", type=int, default=None,
                         help="replay at most this many entries")
+    parser.add_argument("--audit", type=pathlib.Path, default=None,
+                        metavar="LEDGER",
+                        help="audit ledger to summarize alongside the "
+                             "campaign (default: audit.jsonl next to "
+                             "the artifact, when present)")
+    parser.add_argument("--audit-out", type=pathlib.Path, default=None,
+                        help="with --run: record the campaign into a "
+                             "tamper-evident audit ledger (with the "
+                             "standard detectors) and write it here")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
@@ -155,11 +183,30 @@ def main(argv=None) -> int:
         except ValueError as exc:
             return _fail(f"{args.replay}: {exc}")
 
+    audit_path = args.audit
     if args.run:
         from repro.faults.adversary import standard_adversary_campaign
-        result = standard_adversary_campaign(
-            seed=args.seed, generations=args.generations,
-            population=args.population, jobs=args.jobs)
+        engine = None
+        if args.audit_out is not None:
+            from repro.obs.audit import AUDIT
+            from repro.obs.detect import AnomalyEngine
+            AUDIT.reset()
+            AUDIT.enable()
+            engine = AnomalyEngine(ledger=AUDIT)
+        try:
+            result = standard_adversary_campaign(
+                seed=args.seed, generations=args.generations,
+                population=args.population, jobs=args.jobs)
+        finally:
+            if engine is not None:
+                engine.uninstall()
+        if args.audit_out is not None:
+            AUDIT.write(args.audit_out)
+            AUDIT.disable()
+            AUDIT.reset()
+            print(f"wrote {args.audit_out}")
+            if audit_path is None:
+                audit_path = args.audit_out
         if args.out is not None:
             result.write(args.out)
             print(f"wrote {args.out}")
@@ -175,11 +222,24 @@ def main(argv=None) -> int:
             data = json.loads(args.artifact.read_text())
         except ValueError as exc:
             return _fail(f"{args.artifact}: malformed JSON ({exc})")
+        if audit_path is None:
+            sibling = args.artifact.parent / "audit.jsonl"
+            if sibling.exists():
+                audit_path = sibling
     try:
-        return summarize(data, worst=args.worst)
+        status = summarize(data, worst=args.worst)
     except (KeyError, TypeError, AttributeError) as exc:
         return _fail(f"{args.artifact}: not an adversary campaign "
                      f"artifact ({exc!r})")
+    if audit_path is not None:
+        from repro.obs.audit import AuditVerificationError
+        if not audit_path.exists():
+            return _fail(f"no such audit ledger: {audit_path}")
+        try:
+            audit_summary(audit_path)
+        except AuditVerificationError as exc:
+            return _fail(f"{audit_path}: {exc}")
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Verify and summarize a security audit ledger from the command line.
+
+    PYTHONPATH=src python scripts/audit_report.py \
+        benchmarks/results/audit.jsonl
+
+    PYTHONPATH=src python scripts/audit_report.py \
+        benchmarks/results/audit.jsonl --verify
+
+Reads a JSONL ledger written by
+:meth:`repro.obs.audit.AuditLedger.write`, re-verifies the whole
+Keccak hash chain and every Ed25519 checkpoint signature, and prints
+the per-subsystem/severity event breakdown plus the detection tally.
+``--verify`` stops after verification (the CI gate).  Any tamper — a
+single flipped byte, a dropped record, a reordered pair, a forged
+checkpoint — exits 1 with one line on stderr, never a traceback.
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+
+def _fail(message: str) -> int:
+    """Operator-grade failure: one line on stderr, exit code 1 — a
+    missing or corrupt artifact is a usage problem, not a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def report(records, stats, path: pathlib.Path, worst: int) -> int:
+    from repro.obs.audit import summarize_records
+    summary = summarize_records(records)
+    print(f"audit ledger {path}: chain verified "
+          f"({stats['events']} events, {stats['checkpoints']} signed "
+          f"checkpoints, head {stats['head'][:16]}...)")
+
+    by_subsystem = summary["by_subsystem"]
+    if by_subsystem:
+        print("\nevents by subsystem:")
+        width = max(len(k) for k in by_subsystem)
+        for subsystem in sorted(by_subsystem):
+            parts = ", ".join(
+                f"{severity}={count}" for severity, count
+                in sorted(by_subsystem[subsystem].items()))
+            print(f"  {subsystem.ljust(width)}  {parts}")
+
+    by_kind = summary["by_kind"]
+    if by_kind:
+        print("\ntop event kinds:")
+        ranked = sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0]))
+        for kind, count in ranked[:worst]:
+            print(f"  {kind:28s} {count}")
+
+    detections = summary["detections"]
+    if detections:
+        print("\ndetections by detector:")
+        width = max(len(k) for k in detections)
+        for detector in sorted(detections):
+            print(f"  {detector.ljust(width)}  {detections[detector]}")
+    else:
+        print("\nno detections.")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify and summarize a security audit ledger")
+    parser.add_argument("artifact", nargs="?", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/results/"
+                                             "audit.jsonl"),
+                        help="JSONL ledger (default: the bench "
+                             "artifact)")
+    parser.add_argument("--verify", action="store_true",
+                        help="verify the chain and signatures only, "
+                             "skip the summary (the CI gate)")
+    parser.add_argument("--worst", type=int, default=10,
+                        help="max event-kind rows to print")
+    args = parser.parse_args(argv)
+
+    from repro.obs.audit import (AuditVerificationError,
+                                 load_ledger_records, verify_records)
+    if not args.artifact.exists():
+        return _fail(f"no such ledger: {args.artifact} "
+                     f"(run a campaign with REPRO_AUDIT=1 first)")
+    try:
+        records = load_ledger_records(args.artifact)
+        stats = verify_records(records)
+    except AuditVerificationError as exc:
+        return _fail(f"{args.artifact}: {exc}")
+    if args.verify:
+        print(f"audit ledger {args.artifact}: chain verified "
+              f"({stats['events']} events, {stats['checkpoints']} "
+              f"signed checkpoints)")
+        return 0
+    return report(records, stats, args.artifact, args.worst)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -29,13 +29,18 @@ echo "== fault campaign summary =="
 python scripts/fault_report.py benchmarks/results/fault_campaign.json \
     --by scenario --worst 5
 
-echo "== adversary campaign smoke (small budget) =="
+echo "== adversary campaign smoke (small budget, audited) =="
 python scripts/adversary_report.py --run --seed 2026 \
     --generations 3 --population 32 \
     --out benchmarks/results/adversary_smoke.json \
-    --corpus-out benchmarks/results/adversary_smoke_corpus.json
+    --corpus-out benchmarks/results/adversary_smoke_corpus.json \
+    --audit-out benchmarks/results/adversary_smoke_audit.jsonl
 python scripts/adversary_report.py --replay \
     benchmarks/results/adversary_smoke_corpus.json --replay-limit 8
+
+echo "== audit ledger verification =="
+python scripts/audit_report.py \
+    benchmarks/results/adversary_smoke_audit.jsonl --verify
 
 echo "== trace report =="
 python scripts/trace_report.py benchmarks/results/trace.jsonl \

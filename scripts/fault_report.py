@@ -95,6 +95,11 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="also write the campaign JSON here "
                              "(with --run)")
+    parser.add_argument("--audit", type=pathlib.Path, default=None,
+                        metavar="LEDGER",
+                        help="audit ledger to summarize alongside the "
+                             "campaign (default: audit.jsonl next to "
+                             "the artifact, when present)")
     args = parser.parse_args(argv)
 
     if args.run:
@@ -113,22 +118,37 @@ def main(argv=None) -> int:
             data = json.loads(args.artifact.read_text())
         except ValueError as exc:
             return _fail(f"{args.artifact}: malformed JSON ({exc})")
+    audit_path = args.audit
+    if audit_path is None and not args.run:
+        sibling = args.artifact.parent / "audit.jsonl"
+        if sibling.exists():
+            audit_path = sibling
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    import adversary_report
     if isinstance(data, dict) and "adversary" in data:
         # An adversary-campaign artifact (coverage-guided fuzzing, not
         # the fixed grid): same taxonomy, different breakdown — the
         # adversary summarizer owns it.
-        sys.path.insert(0, str(pathlib.Path(__file__).parent))
-        import adversary_report
         try:
-            return adversary_report.summarize(data, worst=args.worst)
+            status = adversary_report.summarize(data, worst=args.worst)
         except (KeyError, TypeError, AttributeError) as exc:
             return _fail(f"{args.artifact}: not a campaign artifact "
                          f"({exc!r})")
-    try:
-        return summarize(data, by=args.by, worst=args.worst)
-    except (KeyError, TypeError, AttributeError) as exc:
-        return _fail(f"{args.artifact}: not a campaign artifact "
-                     f"({exc!r})")
+    else:
+        try:
+            status = summarize(data, by=args.by, worst=args.worst)
+        except (KeyError, TypeError, AttributeError) as exc:
+            return _fail(f"{args.artifact}: not a campaign artifact "
+                         f"({exc!r})")
+    if audit_path is not None:
+        from repro.obs.audit import AuditVerificationError
+        if not audit_path.exists():
+            return _fail(f"no such audit ledger: {audit_path}")
+        try:
+            adversary_report.audit_summary(audit_path)
+        except AuditVerificationError as exc:
+            return _fail(f"{audit_path}: {exc}")
+    return status
 
 
 if __name__ == "__main__":

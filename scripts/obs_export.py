@@ -7,9 +7,9 @@
         --coverage 'benchmarks/results/coverage_*.json' \
         --out benchmarks/results/exposition.txt --check
 
-Reads the metrics snapshot, the perf-counter export and any coverage
-maps (glob patterns allowed) written by the benches / streaming sinks
-and renders one exposition document — the same format the future live
+Reads the metrics snapshot, the perf-counter export, any coverage
+maps and any audit ledgers (glob patterns allowed) written by the
+benches / streaming sinks and renders one exposition document — the same format the future live
 attestation-service endpoint will serve per scrape.  Missing inputs
 are skipped (artifacts depend on which switches a run had enabled);
 malformed inputs fail with a one-line error, never a traceback.
@@ -68,6 +68,11 @@ def main(argv=None) -> int:
                         help="adversary corpus JSON path or glob; may "
                              "repeat (default: benchmarks/results/"
                              "adversary_corpus*.json)")
+    parser.add_argument("--audit", action="append", default=None,
+                        metavar="GLOB",
+                        help="audit ledger JSONL path or glob; may "
+                             "repeat (default: benchmarks/results/"
+                             "*audit*.jsonl)")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="write the document here (atomically) "
                              "instead of stdout")
@@ -94,13 +99,27 @@ def main(argv=None) -> int:
             payload = _load_json(pathlib.Path(path))
             if payload is not None:
                 corpus.append(payload)
+    audit_patterns = args.audit if args.audit is not None \
+        else [str(RESULTS / "*audit*.jsonl")]
+    audit = []
+    from repro.obs.audit import (AuditVerificationError,
+                                 load_ledger_records,
+                                 summarize_records)
+    for pattern in audit_patterns:
+        for path in sorted(glob.glob(pattern)):
+            try:
+                records = load_ledger_records(pathlib.Path(path))
+            except AuditVerificationError as exc:
+                return _fail(f"{path}: {exc}")
+            audit.append(summarize_records(records))
 
-    if metrics is None and perf is None and not coverage and not corpus:
+    if metrics is None and perf is None and not coverage \
+            and not corpus and not audit:
         return _fail("no readable input artifacts (run the benches "
                      "with REPRO_TELEMETRY=1 REPRO_PERF=1 first)")
 
     text = render(metrics=metrics, perf=perf, coverage=coverage,
-                  corpus=corpus)
+                  corpus=corpus, audit=audit)
     if args.check:
         try:
             families = parse_exposition(text)

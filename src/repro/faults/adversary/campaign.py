@@ -42,6 +42,7 @@ import pathlib
 from dataclasses import dataclass, field
 
 from ...obs import TELEMETRY
+from ...obs.audit import AUDIT
 from ...obs.coverage import CoverageMap
 from ...runtime import chunk_bounds, resolve_jobs, run_sharded
 from ...runtime.memo import Memo
@@ -274,6 +275,14 @@ class AdversaryCampaign:
             self.corpus_records.append(record)
             result.corpus.append(record)
             added.append(record)
+            if AUDIT.enabled:
+                # Novel PERF-delta behaviour: the perf-outlier
+                # detector checks it against the calibrated golden
+                # baseline.
+                AUDIT.emit("faults.adversary", "perf-signature",
+                           family=case.family,
+                           signature=[[event, bucket] for event, bucket
+                                      in record.signature])
         if case.family in self._hardened \
                 and not acceptable_on_hardened(record.outcome):
             self._record_violation(record, result)
@@ -282,6 +291,11 @@ class AdversaryCampaign:
 
     def _record_violation(self, record, result) -> None:
         """The hardening gate tripped: minimize and emit a repro."""
+        if AUDIT.enabled:
+            AUDIT.emit("faults.adversary", "hardening-violation",
+                       severity="critical",
+                       family=record.case.family,
+                       outcome=record.outcome, reason=record.reason)
         violation = record.to_record()
         if len(result.violations) < self.shrink_budget:
             family = self._by_name[record.case.family]
@@ -304,6 +318,11 @@ class AdversaryCampaign:
             families=[f.name for f in self.families],
             hardened=sorted(self._hardened))
         self.corpus_records = []
+        if AUDIT.enabled:
+            AUDIT.emit("faults.adversary", "campaign-start",
+                       seed=self.seed, generations=generations,
+                       population=population,
+                       families=[f.name for f in self.families])
         candidates = self._fresh(0, population)
         with TELEMETRY.span("adversary.campaign", seed=self.seed,
                             generations=generations,
@@ -327,6 +346,13 @@ class AdversaryCampaign:
                                        len(result.violations))
         result.coverage_distinct = self.coverage.distinct()
         result.coverage_observations = self.coverage.observations
+        if AUDIT.enabled:
+            AUDIT.emit("faults.adversary", "campaign-end",
+                       seed=self.seed, injections=result.injections,
+                       executed=result.executed,
+                       memo_hits=result.memo_hits,
+                       corpus=len(result.corpus),
+                       violations=len(result.violations))
         return result
 
 

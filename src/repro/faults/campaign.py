@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..obs import TELEMETRY
+from ..obs.audit import AUDIT
 from ..obs.coverage import CoverageMap
 from ..obs.export import write_jsonl
 from ..obs.perf import PERF
@@ -337,6 +338,10 @@ def _execute_plan_range(state, bounds) -> tuple:
 def _run_campaign(scenarios, seed, injections, jobs,
                   campaign_span, coverage) -> CampaignResult:
     FAULTS.disarm()
+    if AUDIT.enabled:
+        AUDIT.emit("faults.campaign", "campaign-start", seed=seed,
+                   injections=injections,
+                   scenarios=[s.name for s in scenarios])
     golden = {}
     with TELEMETRY.span("faults.campaign.golden",
                         scenarios=len(scenarios)):
@@ -369,6 +374,19 @@ def _run_campaign(scenarios, seed, injections, jobs,
     if coverage is not None:
         for _, cover_dict in outputs:
             coverage.merge(cover_dict)
+    if AUDIT.enabled:
+        # Gate verdicts are parent-side events: the hardening-gate
+        # tripwire detector turns every violation into a detection,
+        # which is what pins the bench's 100%-coverage criterion.
+        for run in result.hardened_violations():
+            AUDIT.emit("faults.campaign", "hardening-violation",
+                       severity="critical", index=run.index,
+                       scenario=run.scenario, site=run.site,
+                       model=run.model, outcome=run.outcome)
+        AUDIT.emit("faults.campaign", "campaign-end", seed=seed,
+                   injections=result.injections,
+                   totals=result.outcome_totals(),
+                   violations=len(result.hardened_violations()))
     return result
 
 

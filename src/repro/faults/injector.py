@@ -24,6 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 from .models import ALL_MODELS, BIT_FLIP, flip_bit
 
@@ -103,11 +104,19 @@ class FaultInjector:
         self.enabled = bool(self._specs)
         if PERF.enabled and specs:
             PERF.inc("faults.armed", len(specs))
+        if AUDIT.enabled and specs:
+            AUDIT.emit("faults.injector", "fault-armed",
+                       specs=len(specs),
+                       sites=sorted({s.site for s in specs}),
+                       models=sorted({s.model for s in specs}))
         return self
 
     def disarm(self) -> tuple:
         """Deactivate all faults; returns the events that fired."""
         events = tuple(self.events)
+        if AUDIT.enabled and self._specs:
+            AUDIT.emit("faults.injector", "fault-disarmed",
+                       fired=len(events))
         self.enabled = False
         self._specs = ()
         self._visits = {}

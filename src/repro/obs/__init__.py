@@ -22,9 +22,16 @@ every subsystem of the reproduction:
 * :mod:`~repro.obs.stream` — bounded-memory streaming sinks
   (size-rotated JSONL, deterministic head+stride span sampling,
   periodic live snapshots) replacing dump-at-exit at 10^5+ spans,
+* :mod:`~repro.obs.audit` — the tamper-evident security audit ledger
+  (canonical-JSON events, Keccak hash chain, Ed25519-signed
+  checkpoints) behind the global :data:`AUDIT` facade
+  (``REPRO_AUDIT=1``),
+* :mod:`~repro.obs.detect` — deterministic windowed anomaly detectors
+  streaming over the audit ledger; detections re-enter the ledger as
+  typed ``obs.detect`` events,
 * :mod:`~repro.obs.exposition` — Prometheus text rendering of
-  metrics, perf counters and coverage maps (``scripts/obs_export.py``,
-  the live endpoint format),
+  metrics, perf counters, coverage maps and audit/detection tallies
+  (``scripts/obs_export.py``, the live endpoint format),
 * :mod:`~repro.obs.export` — atomic JSONL/text artifact persistence,
 * :mod:`~repro.obs.report` — per-span aggregation (cumulative/self
   time) behind ``scripts/trace_report.py``,
@@ -47,7 +54,14 @@ with ``REPRO_TELEMETRY=1`` / ``REPRO_PERF=1`` or per call site with
 :func:`enable` / :func:`counting`.
 """
 
+from .audit import (AUDIT, AuditLedger, AuditVerificationError,
+                    canonical_encode, chain_hash, get_audit,
+                    load_ledger_records, summarize_records,
+                    verify_records)
 from .coverage import CoverageMap, log_bucket, signature
+from .detect import (AnomalyEngine, Detection,
+                     PerfSignatureOutlierDetector,
+                     WindowThresholdDetector, standard_detectors)
 from .export import (atomic_write_text, read_jsonl, read_spans,
                      write_jsonl)
 from .exposition import parse_exposition, render, snapshot_exposition
@@ -74,6 +88,11 @@ __all__ = [
     "load_history", "detect_regressions", "format_regressions",
     "trend_table",
     "Span", "Tracer",
+    "AUDIT", "AuditLedger", "AuditVerificationError", "get_audit",
+    "canonical_encode", "chain_hash", "verify_records",
+    "load_ledger_records", "summarize_records",
+    "AnomalyEngine", "Detection", "WindowThresholdDetector",
+    "PerfSignatureOutlierDetector", "standard_detectors",
     "CoverageMap", "log_bucket", "signature",
     "SpanStream", "RotatingJsonlSink", "HeadStrideSampler",
     "render", "snapshot_exposition", "parse_exposition",

@@ -13,7 +13,10 @@ observability surfaces into that format, with zero dependencies:
   ``repro_perf_events_total{event="..."}`` family, so every
   architectural event is a label, not a metric-name explosion;
 * a :class:`~repro.obs.coverage.CoverageMap` export — per-group
-  distinct-signature and observation gauges.
+  distinct-signature and observation gauges;
+* an audit-ledger summary (:func:`~repro.obs.audit.
+  summarize_records`) — ``repro_audit_events_total`` by subsystem and
+  severity plus ``repro_detections_total`` by detector.
 
 :func:`render` composes any subset; :func:`snapshot_exposition` is the
 live-process shortcut the future service endpoint will call per
@@ -147,13 +150,41 @@ def render_corpus(payload: dict, prefix: str = "repro") -> list:
     return lines
 
 
+def render_audit(payload: dict, prefix: str = "repro") -> list:
+    """Exposition lines for an audit-ledger summary dict (the
+    :func:`~repro.obs.audit.summarize_records` shape): event tallies
+    by subsystem and severity, plus detection tallies by detector."""
+    events_name = sanitize_name("audit_events_total", prefix)
+    detections_name = sanitize_name("detections_total", prefix)
+    ledger = escape_label(payload.get("name", "audit"))
+    lines = [f"# TYPE {events_name} counter"]
+    by_subsystem = payload.get("by_subsystem") or {}
+    for subsystem in sorted(by_subsystem):
+        severities = by_subsystem[subsystem] or {}
+        for severity in sorted(severities):
+            labels = (f'ledger="{ledger}",'
+                      f'subsystem="{escape_label(subsystem)}",'
+                      f'severity="{escape_label(severity)}"')
+            lines.append(f"{events_name}{{{labels}}} "
+                         f"{format_value(severities[severity])}")
+    detections = payload.get("detections") or {}
+    lines.append(f"# TYPE {detections_name} counter")
+    for detector in sorted(detections):
+        labels = (f'ledger="{ledger}",'
+                  f'detector="{escape_label(detector)}"')
+        lines.append(f"{detections_name}{{{labels}}} "
+                     f"{format_value(detections[detector])}")
+    return lines
+
+
 def render(metrics: dict = None, perf: dict = None,
-           coverage=None, corpus=None, prefix: str = "repro") -> str:
+           coverage=None, corpus=None, audit=None,
+           prefix: str = "repro") -> str:
     """One exposition document from any subset of surfaces.
 
-    ``coverage`` and ``corpus`` accept a single exported dict or an
-    iterable of them.  The document ends with a newline, as scrapers
-    require.
+    ``coverage``, ``corpus`` and ``audit`` accept a single exported
+    dict or an iterable of them.  The document ends with a newline, as
+    scrapers require.
     """
     lines = []
     if metrics:
@@ -170,6 +201,11 @@ def render(metrics: dict = None, perf: dict = None,
             else list(corpus)
         for payload in payloads:
             lines.extend(render_corpus(payload, prefix))
+    if audit:
+        payloads = [audit] if isinstance(audit, dict) \
+            else list(audit)
+        for payload in payloads:
+            lines.extend(render_audit(payload, prefix))
     return "\n".join(lines) + "\n" if lines else ""
 
 

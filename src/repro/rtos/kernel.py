@@ -20,6 +20,7 @@ from ..faults.injector import FAULTS
 from ..faults.models import STACK_SMASH, TASK_BIT_FLIP, WILD_STORE, \
     flip_bit
 from ..obs import TELEMETRY
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 from ..soc.cpu import Hart
 from ..soc.memory import AccessFault, PhysicalMemory, Region
@@ -313,6 +314,11 @@ class Kernel:
                     TELEMETRY.counter("rtos.pmp_faults").inc()
                 if PERF.enabled:
                     PERF.inc("rtos.faults_contained")
+                if AUDIT.enabled:
+                    AUDIT.emit("rtos.kernel", "fault-contained",
+                               severity="warning",
+                               cause="access-fault", task=task.name,
+                               tick=self.tick)
                 self._log("access-fault", task, str(fault))
                 self._running = None
                 call = None
@@ -325,6 +331,11 @@ class Kernel:
                     TELEMETRY.counter("rtos.stack_overflows").inc()
                 if PERF.enabled:
                     PERF.inc("rtos.faults_contained")
+                if AUDIT.enabled:
+                    AUDIT.emit("rtos.kernel", "fault-contained",
+                               severity="warning",
+                               cause="stack-overflow", task=task.name,
+                               tick=self.tick)
                 self._log("stack-overflow", task, str(fault))
                 self._running = None
                 call = None

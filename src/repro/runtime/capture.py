@@ -18,6 +18,7 @@ identical for any worker count, which the parity tests assert.
 
 from __future__ import annotations
 
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 from ..obs.telemetry import TELEMETRY
 
@@ -31,17 +32,21 @@ def worker_setup() -> None:
     disabled) are deliberately kept — they are how the parent tells
     workers whether to count at all.  An inherited streaming sink is
     detached too: its file handle belongs to the parent, and only the
-    parent may write the merged, shard-ordered stream.
+    parent may write the merged, shard-ordered stream.  The inherited
+    audit ledger is likewise reset to a bare event recorder: workers
+    ship plain event bodies home and only the parent chains, signs
+    and runs detection.
     """
     PERF.reset()
     TELEMETRY.metrics.clear()
     TELEMETRY.tracer.reset_worker()
     TELEMETRY.stream = None
+    AUDIT.reset_worker()
 
 
 def capture_begin():
     """Mark the observability position at the start of one task."""
-    if not (PERF.enabled or TELEMETRY.enabled):
+    if not (PERF.enabled or TELEMETRY.enabled or AUDIT.enabled):
         return None
     return {
         "perf": PERF.snapshot() if PERF.enabled else None,
@@ -49,6 +54,7 @@ def capture_begin():
         else None,
         "spans": TELEMETRY.tracer.finished_count()
         if TELEMETRY.enabled else 0,
+        "audit": AUDIT.mark() if AUDIT.enabled else None,
     }
 
 
@@ -70,6 +76,10 @@ def capture_end(mark) -> dict:
         spans = TELEMETRY.tracer.records_since(mark["spans"])
         if spans:
             capture["spans"] = spans
+    if mark.get("audit") is not None:
+        bodies = AUDIT.bodies_since(mark["audit"])
+        if bodies:
+            capture["audit"] = bodies
     return capture or None
 
 
@@ -86,6 +96,12 @@ def merge_capture(capture) -> None:
     perf = capture.get("perf")
     if perf and PERF.enabled:
         PERF.merge(perf)
+    bodies = capture.get("audit")
+    if bodies and AUDIT.enabled:
+        # Re-emitted one body at a time through the parent's append
+        # path, so listeners (detections) and cadence checkpoints land
+        # at the same stream positions as a serial run.
+        AUDIT.merge_bodies(bodies)
     if not TELEMETRY.enabled:
         return
     metrics = capture.get("metrics")

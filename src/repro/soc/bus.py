@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..faults.injector import FAULTS
 from ..faults.models import BUS_CORRUPT, BUS_DELAY, BUS_DROP
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 
 
@@ -143,6 +144,10 @@ class SharedBus:
             if spec is not None:
                 if spec.model == BUS_DROP:
                     self.dropped.append(transaction)
+                    if AUDIT.enabled:
+                        AUDIT.emit("soc.bus", "bus-transaction-dropped",
+                                   severity="warning",
+                                   requestor=transaction.requestor)
                     return
                 if spec.model == BUS_CORRUPT:
                     transaction.corrupted = True
@@ -204,6 +209,10 @@ class SharedBus:
         completed = []
         while (self.pending_count() or self._active is not None):
             if self.cycle >= max_cycles:
+                if AUDIT.enabled:
+                    AUDIT.emit("soc.bus", "bus-watchdog",
+                               severity="critical", cycle=self.cycle,
+                               pending=self.pending_count())
                 raise RuntimeError("bus did not drain within cycle budget")
             completed.extend(self.step())
         return completed

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum, IntEnum
 
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 
 
@@ -194,6 +195,10 @@ class Pmp:
             PERF.inc("soc.pmp.checks")
             if not allowed:
                 PERF.inc("soc.pmp.denials")
+        if not allowed and AUDIT.enabled:
+            AUDIT.emit("soc.pmp", "pmp-denial", severity="warning",
+                       access=access, mode=int(mode), address=address,
+                       size=size)
         return allowed
 
     def active_ranges(self) -> list:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, fields
 from ..faults.injector import FAULTS
 from ..faults.report import FaultReport, Outcome
 from ..obs import TELEMETRY
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 from ..crypto import ed25519
 from ..crypto.keccak import sha3_512, shake256
@@ -331,6 +332,9 @@ class BootRom:
         try:
             report = self.boot(sm_binary)
         except Exception as exc:          # fail closed, report the cause
+            if AUDIT.enabled:
+                AUDIT.emit("tee.boot", "boot-rejected",
+                           severity="critical", reason="boot-exception")
             return VerifiedBoot(report=None, fault=FaultReport(
                 component="tee.bootrom", outcome=Outcome.DETECTED,
                 reason="boot-exception",
@@ -338,14 +342,25 @@ class BootRom:
         try:
             verified = self.verify_boot(sm_binary, report)
         except Exception as exc:
+            if AUDIT.enabled:
+                AUDIT.emit("tee.boot", "boot-rejected",
+                           severity="critical",
+                           reason="verify-exception")
             return VerifiedBoot(report=None, fault=FaultReport(
                 component="tee.bootrom", outcome=Outcome.DETECTED,
                 reason="verify-exception",
                 detail=f"{type(exc).__name__}: {exc}"[:200]))
         if not verified:
+            if AUDIT.enabled:
+                AUDIT.emit("tee.boot", "boot-rejected",
+                           severity="critical",
+                           reason="boot-verification-failed")
             return VerifiedBoot(report=None, fault=FaultReport(
                 component="tee.bootrom", outcome=Outcome.DETECTED,
                 reason="boot-verification-failed"))
+        if AUDIT.enabled:
+            AUDIT.emit("tee.boot", "boot-verified",
+                       post_quantum=self.device.post_quantum)
         return VerifiedBoot(report=report, fault=None)
 
     def verify_handoff(self, sm_binary: bytes,
@@ -363,8 +378,20 @@ class BootRom:
         try:
             expected = self.boot(sm_binary)
         except Exception:
+            if AUDIT.enabled:
+                AUDIT.emit("tee.boot", "handoff-rejected",
+                           severity="critical",
+                           reason="reboot-exception")
             return False
-        return expected.encode() == report.encode()
+        ok = expected.encode() == report.encode()
+        if AUDIT.enabled:
+            if ok:
+                AUDIT.emit("tee.boot", "handoff-verified")
+            else:
+                AUDIT.emit("tee.boot", "handoff-rejected",
+                           severity="critical",
+                           reason="handoff-mismatch")
+        return ok
 
     def verify_boot(self, sm_binary: bytes, report: BootReport) -> bool:
         """Verifier-side check of the boot signatures (both must hold in

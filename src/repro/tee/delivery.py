@@ -31,6 +31,7 @@ from ..faults.injector import FAULTS
 from ..faults.models import (TRANSPORT_CORRUPT, TRANSPORT_DELAY,
                              TRANSPORT_DROP, flip_bit)
 from ..faults.report import FaultReport, Outcome
+from ..obs.audit import AUDIT
 from .attestation import AttestationReport, verify_report
 
 _BINDING_PREFIX = b"mlkem-ek-v1:"
@@ -328,6 +329,11 @@ class DeliveryChannel:
                                              label=wire_label,
                                              entropy=entropy)
             if package is None:
+                if AUDIT.enabled:
+                    AUDIT.emit("tee.delivery", "delivery-rejected",
+                               severity="critical",
+                               reason="attestation-rejected",
+                               sequence=sequence, attempts=attempt)
                 return DeliveryOutcome(
                     payload=None, attempts=attempt, elapsed=elapsed,
                     recovered=False, fault=FaultReport(
@@ -347,6 +353,10 @@ class DeliveryChannel:
                     decoded = SealedPackage.decode(received)
                     clear = self.enclave.unwrap(
                         decoded, expected_label=wire_label)
+                    if AUDIT.enabled:
+                        AUDIT.emit("tee.delivery", "delivery-accepted",
+                                   sequence=sequence, attempts=attempt,
+                                   recovered=attempt > 1)
                     return DeliveryOutcome(
                         payload=clear, attempts=attempt,
                         elapsed=elapsed, recovered=attempt > 1)
@@ -354,9 +364,17 @@ class DeliveryChannel:
                     last_reason = exc.reason
             else:
                 last_reason = "transport-drop"
+            if AUDIT.enabled:
+                AUDIT.emit("tee.delivery", "delivery-attempt-failed",
+                           severity="warning", reason=last_reason,
+                           sequence=sequence, attempt=attempt)
             if elapsed >= self.deadline:
                 break
             elapsed += self.backoff_base * (2 ** (attempt - 1))
+        if AUDIT.enabled:
+            AUDIT.emit("tee.delivery", "delivery-rejected",
+                       severity="critical", reason=last_reason,
+                       sequence=sequence, attempts=attempt)
         return DeliveryOutcome(
             payload=None, attempts=attempt, elapsed=elapsed,
             recovered=False, fault=FaultReport(

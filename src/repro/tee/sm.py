@@ -24,6 +24,7 @@ from ..crypto.mldsa import ML_DSA_44, MLDSA, MLDSAParams
 from ..faults.injector import FAULTS
 from ..faults.models import STACK_SMASH
 from ..obs import TELEMETRY
+from ..obs.audit import AUDIT
 from ..obs.perf import PERF
 from ..soc.cpu import Hart, StackModel
 from ..soc.memory import PhysicalMemory, Region
@@ -254,6 +255,10 @@ class SecurityMonitor:
         """Produce the (default or PQ) attestation report for an enclave."""
         if PERF.enabled:
             PERF.inc("tee.sm.attestations")
+        if AUDIT.enabled:
+            AUDIT.emit("tee.sm", "attest-sign",
+                       enclave=int(enclave.enclave_id),
+                       post_quantum=self.config.post_quantum)
         with TELEMETRY.span("tee.attest",
                             enclave=enclave.enclave_id,
                             post_quantum=self.config.post_quantum):

@@ -334,7 +334,8 @@ def test_obs_export_missing_everything_is_one_line_error(tmp_path):
         "--metrics", str(tmp_path / "nope.json"),
         "--perf", str(tmp_path / "nope2.json"),
         "--coverage", str(tmp_path / "coverage_*.json"),
-        "--corpus", str(tmp_path / "adversary_corpus*.json"))
+        "--corpus", str(tmp_path / "adversary_corpus*.json"),
+        "--audit", str(tmp_path / "*audit*.jsonl"))
     _assert_one_line_error(proc)
 
 
