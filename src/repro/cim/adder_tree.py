@@ -11,6 +11,8 @@ values whose cycle-to-cycle Hamming distance is the power signal.
 
 from __future__ import annotations
 
+import numpy as np
+
 
 def hamming_weight(value: int) -> int:
     """Number of set bits (the quantity phase 1 clusters on)."""
@@ -20,6 +22,28 @@ def hamming_weight(value: int) -> int:
 def hamming_distance(a: int, b: int) -> int:
     """Bit flips between two register states."""
     return hamming_weight(a ^ b)
+
+
+def fresh_tree_activity(products: "np.ndarray") -> tuple:
+    """Batched from-reset tree evaluation: ``(totals, activity)``.
+
+    ``products`` is a ``(traces, leaf_count)`` int64 array; each row is
+    one evaluation of a freshly reset :class:`AdderTree`.  From the
+    all-zero state every node's Hamming distance equals the Hamming
+    weight of its new value, so the switching activity of row ``t`` is
+    the popcount sum over every node of the reduction — exactly what
+    ``AdderTree.evaluate`` reports after ``reset()``.
+    """
+    current = products.astype(np.uint64)
+    activity = np.bitwise_count(current).sum(axis=1).astype(np.int64)
+    while current.shape[1] > 1:
+        if current.shape[1] % 2:
+            current = np.concatenate(
+                [current, np.zeros((current.shape[0], 1),
+                                   dtype=current.dtype)], axis=1)
+        current = current[:, 0::2] + current[:, 1::2]
+        activity += np.bitwise_count(current).sum(axis=1).astype(np.int64)
+    return current[:, 0].astype(np.int64), activity
 
 
 class AdderTree:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .adder_tree import hamming_distance
+from .adder_tree import fresh_tree_activity, hamming_distance
 from .macro import DigitalCimMacro, WEIGHT_MAX
 
 
@@ -85,6 +85,24 @@ class MaskedCimMacro(DigitalCimMacro):
         self.mac_register = new_mac
         return new_mac, toggles
 
+    def _fresh_toggles_batch(self, masks: "np.ndarray") -> "np.ndarray":
+        traces = masks.shape[0]
+        if traces == 0:
+            return np.zeros(0, dtype=np.int64)
+        length = len(self.weights)
+        weights = np.asarray(self.weights, dtype=np.int64)
+        # One batched draw consumes the generator stream exactly as the
+        # per-trace, per-order, per-weight scalar draws do (row-major).
+        fresh = self._rng.integers(
+            self.SHARE_MODULUS, size=(traces, self.order, length))
+        remaining = (weights - fresh.sum(axis=1)) % self.SHARE_MODULUS
+        shares = np.concatenate([fresh, remaining[:, None, :]], axis=1)
+        products = masks[:, None, :] * shares
+        _, activity = fresh_tree_activity(
+            products.reshape(traces * (self.order + 1), length))
+        return (activity.reshape(traces, self.order + 1).sum(axis=1)
+                + (self.tree.depth + 1))
+
 
 class ShuffledCimMacro(DigitalCimMacro):
     """Macro with per-operation random column permutation.
@@ -107,3 +125,18 @@ class ShuffledCimMacro(DigitalCimMacro):
             return super().operate(inputs)
         finally:
             self.weights = original
+
+    def _fresh_toggles_batch(self, masks: "np.ndarray") -> "np.ndarray":
+        traces = masks.shape[0]
+        if traces == 0:
+            return np.zeros(0, dtype=np.int64)
+        length = len(self.weights)
+        weights = np.asarray(self.weights, dtype=np.int64)
+        # Permutations stay per-trace (the generator's stream must match
+        # the scalar path draw-for-draw); the tree evaluation batches.
+        permutations = np.stack(
+            [self._rng.permutation(length) for _ in range(traces)])
+        totals, activity = fresh_tree_activity(
+            masks * weights[permutations])
+        return activity + np.bitwise_count(
+            totals.astype(np.uint64)).astype(np.int64)

@@ -70,10 +70,7 @@ class CpaAttack:
         contributions."""
         length = len(macro)
         masks = rng.integers(0, 2, size=(traces, length))
-        samples = np.empty(traces)
-        for t in range(traces):
-            toggles = macro.query_fresh([int(b) for b in masks[t]])
-            samples[t] = self.power.measure(toggles)
+        samples = self.power.measure_many(macro.query_fresh_many(masks))
         design = np.hstack([np.ones((traces, 1)),
                             masks.astype(float)])
         coefficients, *_ = np.linalg.lstsq(design, samples, rcond=None)

@@ -10,7 +10,10 @@ binary input values as masks" — and observes power.
 
 from __future__ import annotations
 
-from .adder_tree import AdderTree, hamming_distance
+import numpy as np
+
+from ..obs.perf import PERF
+from .adder_tree import AdderTree, fresh_tree_activity, hamming_distance
 
 WEIGHT_BITS = 4
 WEIGHT_MAX = (1 << WEIGHT_BITS) - 1
@@ -73,6 +76,43 @@ class DigitalCimMacro:
         self.reset()
         _, toggles = self.operate(inputs)
         return toggles
+
+    def _check_masks(self, masks) -> "np.ndarray":
+        masks = np.asarray(masks, dtype=np.int64)
+        if masks.ndim != 2 or masks.shape[1] != len(self.weights):
+            raise ValueError(
+                f"expected masks of shape (traces, {len(self.weights)}),"
+                f" got {masks.shape}")
+        if masks.size and (masks.min() < 0 or masks.max() > 1):
+            raise ValueError("inputs must be binary activation masks")
+        return masks
+
+    def _fresh_toggles_batch(self, masks: "np.ndarray") -> "np.ndarray":
+        """Vectorized fresh-query toggles for ``masks`` rows (no state
+        update; every row starts from the reset state)."""
+        weights = np.asarray(self.weights, dtype=np.int64)
+        totals, activity = fresh_tree_activity(masks * weights)
+        return activity + np.bitwise_count(
+            totals.astype(np.uint64)).astype(np.int64)
+
+    def query_fresh_many(self, masks) -> "np.ndarray":
+        """Batch of fresh queries: one toggle count per row of ``masks``.
+
+        Bit-identical to calling :meth:`query_fresh` once per row —
+        including the macro's final register/RNG state, because the
+        last row is replayed through the scalar path — but evaluates
+        the first ``traces - 1`` rows in one numpy pass.
+        """
+        masks = self._check_masks(masks)
+        count = masks.shape[0]
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        toggles = self._fresh_toggles_batch(masks[:-1])
+        if PERF.enabled:
+            PERF.inc("cim.traces_vectorized", count - 1)
+        last = self.query_fresh([int(bit) for bit in masks[-1]])
+        return np.concatenate(
+            [toggles, np.array([last], dtype=np.int64)])
 
 
 def one_hot(length: int, index: int) -> list:

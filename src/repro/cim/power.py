@@ -36,11 +36,33 @@ class PowerModel:
             power += self._rng.normal(0.0, self.noise_sigma)
         return float(power)
 
+    def measure_many(self, toggles) -> np.ndarray:
+        """Power samples for a whole toggle-count batch.
+
+        Bit-identical to calling :meth:`measure` per element: the noise
+        generator draws one normal per sample in order (and none when
+        ``noise_sigma`` is zero), so stream consumption matches the
+        scalar loop exactly.
+        """
+        power = STATIC_POWER + ENERGY_PER_TOGGLE * np.asarray(
+            toggles, dtype=float)
+        if self.noise_sigma:
+            power = power + self._rng.normal(
+                0.0, self.noise_sigma, size=power.shape)
+        return power
+
     def trace(self, macro, inputs: list, repetitions: int = 1) -> np.ndarray:
         """Repeated fresh-query measurements of one input mask."""
         if TELEMETRY.enabled:
             TELEMETRY.counter("cim.power.traces").inc()
             TELEMETRY.counter("cim.power.samples").inc(repetitions)
+        if hasattr(macro, "query_fresh_many"):
+            # Macro and noise draws live on separate generators, so
+            # query-then-measure batching consumes both streams exactly
+            # as the interleaved scalar loop does.
+            masks = np.tile(np.asarray(inputs, dtype=np.int64),
+                            (repetitions, 1))
+            return self.measure_many(macro.query_fresh_many(masks))
         samples = [self.measure(macro.query_fresh(inputs))
                    for _ in range(repetitions)]
         return np.asarray(samples)

@@ -51,8 +51,8 @@ class SecondOrderAttack:
     def _column_variance(self, macro, column: int,
                          traces: int) -> float:
         mask = one_hot(len(macro), column)
-        samples = [self.power.measure(macro.query_fresh(mask))
-                   for _ in range(traces)]
+        masks = np.tile(np.asarray(mask, dtype=np.int64), (traces, 1))
+        samples = self.power.measure_many(macro.query_fresh_many(masks))
         return float(np.var(samples))
 
     def _profile_templates(self, traces: int) -> dict:

@@ -65,16 +65,24 @@ def assess_macro(macro_factory, weights: list, traces: int = 300,
     # Fixed full activation: every trace exercises every weight, the
     # strongest first-order test vector for this macro.
     mask = [1] * length
-    fixed_samples = []
-    random_samples = []
     fixed_macro = macro_factory(list(weights))
-    for _ in range(traces):
-        fixed_samples.append(
-            power.measure(fixed_macro.query_fresh(mask)))
-        random_weights = [int(w) for w in rng.integers(0, 16, length)]
-        random_macro = macro_factory(random_weights)
-        random_samples.append(
-            power.measure(random_macro.query_fresh(mask)))
+    mask_rows = np.tile(np.asarray(mask, dtype=np.int64), (traces, 1))
+    fixed_toggles = fixed_macro.query_fresh_many(mask_rows)
+    # The random group needs a fresh macro per trace (each carries its
+    # own countermeasure RNG), so only the weight draws batch; the
+    # (traces, length) draw consumes ``rng`` exactly like the scalar
+    # per-trace draws.
+    random_weights = rng.integers(0, 16, size=(traces, length))
+    random_toggles = np.empty(traces, dtype=np.int64)
+    for t in range(traces):
+        random_macro = macro_factory([int(w) for w in random_weights[t]])
+        random_toggles[t] = random_macro.query_fresh(mask)
+    # The scalar loop alternated fixed/random measurements, so the noise
+    # stream must see the toggles in that interleaved order.
+    interleaved = np.empty(2 * traces, dtype=np.int64)
+    interleaved[0::2] = fixed_toggles
+    interleaved[1::2] = random_toggles
+    samples = power.measure_many(interleaved)
     return LeakageAssessment(
-        t_statistic=welch_t(fixed_samples, random_samples),
+        t_statistic=welch_t(samples[0::2], samples[1::2]),
         traces=2 * traces)

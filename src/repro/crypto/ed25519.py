@@ -42,6 +42,7 @@ import threading
 from ..obs import TELEMETRY
 from ..obs.perf import PERF
 from ..runtime.memo import Memo
+from .keccak import shake256
 
 P = 2 ** 255 - 19
 L = 2 ** 252 + 27742317777372353535851937790883648493
@@ -120,19 +121,30 @@ def _point_equal(p, q) -> bool:
     return (x1 * z2 - x2 * z1) % P == 0 and (y1 * z2 - y2 * z1) % P == 0
 
 
+_SQRT_M1 = pow(2, (P - 1) // 4, P)
+
+
 def _recover_x(y: int, sign: int) -> int:
+    """RFC 8032 x-recovery with the combined-exponent square root:
+    ``x = u*v^3 * (u*v^7)^((P-5)/8)`` costs ONE modexp where the naive
+    ``inv`` + ``sqrt`` route costs two or three.  The candidate equals
+    ``(u/v)^((P+3)/8)`` exactly (the v exponents agree mod P-1), so
+    recovered points are bit-identical to the naive form."""
     if y >= P:
         raise ValueError("invalid point encoding")
-    x2 = (y * y - 1) * _inv(D * y * y + 1) % P
-    if x2 == 0:
+    u = (y * y - 1) % P
+    v = (D * y * y + 1) % P
+    if u == 0 or v == 0:
         if sign:
             raise ValueError("invalid point encoding")
         return 0
-    x = pow(x2, (P + 3) // 8, P)
-    if (x * x - x2) % P != 0:
-        x = x * pow(2, (P - 1) // 4, P) % P
-    if (x * x - x2) % P != 0:
-        raise ValueError("invalid point encoding")
+    v3 = v * v * v % P
+    x = u * v3 * pow(u * v3 * v3 * v % P, (P - 5) // 8, P) % P
+    vxx = v * x * x % P
+    if vxx != u:
+        if vxx != P - u:
+            raise ValueError("invalid point encoding")
+        x = x * _SQRT_M1 % P
     if (x & 1) != sign:
         x = P - x
     return x
@@ -289,7 +301,7 @@ def _wnaf(scalar: int, width: int) -> list:
     return digits
 
 
-def _point_table(point) -> list:
+def _point_table(point, width: int = _WNAF_POINT) -> list:
     """Cached-form odd multiples ``1, 3, .., 2^w - 1`` of ``point``.
 
     Table construction is precomputation (uncounted, like the comb
@@ -299,7 +311,7 @@ def _point_table(point) -> list:
     point2 = _point_double(point)
     cur = point
     table = [_to_cached(point)]
-    for _ in range((1 << (_WNAF_POINT - 1)) // 2 - 1):
+    for _ in range((1 << (width - 1)) // 2 - 1):
         cur = _point_add(cur, point2)
         table.append(_to_cached(cur))
     return table
@@ -373,6 +385,153 @@ def _double_scalar_mul(s: int, k: int, point, point_table=None):
     return result
 
 
+#: wNAF width for the long combined scalars of the batch-verify chain
+#: (the ``z_i * k_i`` terms are ~253 bits, so the wider window pays).
+_WNAF_BATCH = 6
+
+
+def _multi_scalar_mul(base_scalar: int, pairs):
+    """``base_scalar * B + sum(scalar_i * P_i)`` by interleaved Straus.
+
+    Every scalar's wNAF digits share ONE doubling chain — the whole
+    point of batch verification: ~253 doublings total instead of ~253
+    per signature.  ``pairs`` supplies ``(scalar, width, cached_table)``
+    with the odd-multiple table of each ``P_i`` built for ``width`` (see
+    :func:`_point_table`).  Doublings skip the ``T`` product when no
+    digit lands on a position.
+    """
+    _, odd_base = _precomp()
+    s_digits = _wnaf(base_scalar, _WNAF_BASE)
+    top = len(s_digits)
+    slots = [[] for _ in range(max(top, 1))]
+    for scalar, width, table in pairs:
+        digits = _wnaf(scalar, width)
+        if len(digits) > top:
+            top = len(digits)
+            slots.extend([] for _ in range(top - len(slots)))
+        for i, digit in enumerate(digits):
+            if digit:
+                slots[i].append(table[digit >> 1] if digit > 0 else
+                                _neg_cached(table[(-digit) >> 1]))
+    adds = 0
+    result = _IDENTITY
+    started = False
+    for i in range(top - 1, -1, -1):
+        base_digit = s_digits[i] if i < len(s_digits) else 0
+        entries = slots[i]
+        if started:
+            result = _point_double(result,
+                                   need_t=bool(entries or base_digit))
+        if base_digit:
+            result = _add_niels(
+                result,
+                odd_base[base_digit >> 1] if base_digit > 0 else
+                _neg_niels(odd_base[(-base_digit) >> 1]))
+            adds += 1
+        for entry in entries:
+            result = _add_cached(result, entry)
+            adds += 1
+        if entries or base_digit:
+            started = True
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.point_adds", adds)
+    return result
+
+
+#: Domain separator for deterministic batch-verification coefficients.
+_BATCH_DOMAIN = b"repro.ed25519.batch-verify.v1"
+
+
+def _batch_coefficients(lanes) -> list:
+    """128-bit random-linear-combination coefficients, derived
+    deterministically by SHAKE256 over the whole batch contents.
+
+    Deterministic derivation keeps campaign replays byte-stable (no
+    process randomness) while remaining unpredictable to anyone who
+    cannot already choose the full batch; forcing each coefficient odd
+    makes it a unit mod 8, so a single lane whose defect is a small-
+    torsion point can never be annihilated by its own coefficient.
+    """
+    hasher_input = [_BATCH_DOMAIN, len(lanes).to_bytes(4, "little")]
+    for _i, public, message, signature in lanes:
+        hasher_input += [public, signature, _sha512(message)]
+    stream = shake256(b"".join(hasher_input), 16 * len(lanes))
+    return [int.from_bytes(stream[16 * i:16 * i + 16], "little") | 1
+            for i in range(len(lanes))]
+
+
+def verify_batch(items) -> list:
+    """Batch Ed25519 verification: one random-linear-combination check
+    for the whole batch, per-signature fallback on failure.
+
+    ``items`` is a sequence of ``(public, message, signature)`` triples;
+    entry *i* of the result equals ``verify(*items[i])``.  Structurally
+    invalid lanes (bad lengths, invalid encodings, ``s >= L``) are
+    rejected up front; the remaining lanes are checked as one combined
+    equation ``sum(z_i * (s_i*B - R_i - k_i*A_i)) == identity`` over a
+    single shared doubling chain — ~4x fewer point operations per lane
+    than the per-signature Straus chain.  If the combined check fails,
+    every lane is re-verified individually, which localizes the
+    offending signature(s) exactly (the attestation-service triage
+    path).  PERF: lanes entering the combined check tick
+    ``crypto.ed25519.batch_verifies``; fallback re-verifies tick the
+    scalar ``crypto.ed25519.verify`` as usual.
+    """
+    items = list(items)
+    with TELEMETRY.span("crypto.ed25519.verify_batch",
+                        batch=len(items)), \
+            TELEMETRY.timer("crypto.ed25519.verify_seconds"):
+        return _verify_batch(items)
+
+
+def _verify_batch(items) -> list:
+    results = [False] * len(items)
+    lanes = []
+    tables = []
+    for i, (public, message, signature) in enumerate(items):
+        if len(public) != PUBLIC_KEY_LEN \
+                or len(signature) != SIGNATURE_LEN:
+            continue
+        neg_a_table = _batch_verify_table(public)
+        if neg_a_table is None:
+            continue
+        if int.from_bytes(signature[32:], "little") >= L:
+            continue
+        try:
+            r_point = _decompress(signature[:32])
+        except ValueError:
+            # compression never produces this encoding, so the scalar
+            # path's compare-against-R would reject it too
+            continue
+        lanes.append((i, bytes(public), bytes(message),
+                      bytes(signature)))
+        tables.append((neg_a_table, r_point))
+    if not lanes:
+        return results
+    if PERF.enabled:
+        PERF.inc("crypto.ed25519.batch_verifies", len(lanes))
+    coefficients = _batch_coefficients(lanes)
+    s_combined = 0
+    pairs = []
+    for (i, public, message, signature), (neg_a_table, r_point), z in \
+            zip(lanes, tables, coefficients):
+        s_combined = (s_combined + z * int.from_bytes(
+            signature[32:], "little")) % L
+        k = int.from_bytes(_sha512(signature[:32] + public + message),
+                           "little") % L
+        pairs.append((z, _WNAF_POINT,
+                      _point_table(_point_negate(r_point))))
+        pairs.append((z * k % L, _WNAF_BATCH, neg_a_table))
+    combined = _multi_scalar_mul(s_combined, pairs)
+    if _point_equal(combined, _IDENTITY):
+        for i, _public, _message, _signature in lanes:
+            results[i] = True
+        return results
+    for i, public, message, signature in lanes:
+        results[i] = verify(public, message, signature)
+    return results
+
+
 #: Per-public-key verification state: the wNAF odd-multiple table of
 #: ``-A``.  Attestation verifies the same handful of device / SM keys
 #: thousands of times, so the decompression square root and the table
@@ -394,6 +553,24 @@ def _verify_table(public: bytes):
         table = None
     with _VERIFY_LOCK:
         _VERIFY_MEMO.store(bytes(public), table)
+    return table
+
+
+def _batch_verify_table(public: bytes):
+    """Like :func:`_verify_table` but width-:data:`_WNAF_BATCH`, for the
+    long combined scalars of the batch-verify chain."""
+    key = (b"batch", bytes(public))
+    with _VERIFY_LOCK:
+        found, table = _VERIFY_MEMO.lookup(key)
+    if found:
+        return table
+    try:
+        table = _point_table(_point_negate(_decompress(public)),
+                             _WNAF_BATCH)
+    except ValueError:
+        table = None
+    with _VERIFY_LOCK:
+        _VERIFY_MEMO.store(key, table)
     return table
 
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 from ..obs.perf import PERF
 
 _MASK64 = (1 << 64) - 1
@@ -204,6 +206,101 @@ def keccak_f1600(lanes: list) -> list:
 # END GENERATED
 
 
+def _rotl64_np(value: "np.ndarray", shift: int) -> "np.ndarray":
+    """Rotate each uint64 element of ``value`` left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value
+    return (value << np.uint64(shift)) | (value >> np.uint64(64 - shift))
+
+
+def keccak_f1600_many(states: "np.ndarray") -> "np.ndarray":
+    """Keccak-f[1600] applied lane-parallel to a ``(batch, 25)`` state.
+
+    ``states`` is a uint64 array where row ``b`` holds the 25 lanes of
+    state ``b`` in the same ``x + 5 * y`` order as :func:`keccak_f1600`.
+    A new array is returned; the input is not mutated.  The permutation
+    counter ticks once per row, so batch and per-state totals agree.
+    """
+    if PERF.enabled:
+        PERF.inc("crypto.keccak.permutations", int(states.shape[0]))
+    a = [states[:, i].copy() for i in range(25)]
+    for rc in ROUND_CONSTANTS:
+        # theta
+        c = [a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20]
+             for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl64_np(c[(x + 1) % 5], 1)
+             for x in range(5)]
+        # rho and pi
+        b = [None] * 25
+        for x in range(5):
+            for y in range(5):
+                nx, ny = y, (2 * x + 3 * y) % 5
+                b[nx + 5 * ny] = _rotl64_np(a[x + 5 * y] ^ d[x],
+                                            ROTATION_OFFSETS[x][y])
+        # chi
+        for x in range(5):
+            for y in range(5):
+                a[x + 5 * y] = b[x + 5 * y] ^ (
+                    ~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y])
+        # iota
+        a[0] = a[0] ^ np.uint64(rc)
+    return np.stack(a, axis=1)
+
+
+def _check_equal_lengths(messages) -> int:
+    lengths = {len(m) for m in messages}
+    if len(lengths) > 1:
+        raise ValueError(
+            f"batch absorb requires equal-length messages, got {sorted(lengths)}"
+        )
+    return lengths.pop() if lengths else 0
+
+
+def _sponge_many(messages, rate_bytes: int, domain_suffix: int,
+                 out_len: int) -> list:
+    """Hash equal-length ``messages`` through one lockstep batch sponge.
+
+    All messages share the same length, so their padded block schedules
+    are identical and the whole batch can absorb (and squeeze) in
+    lockstep: one vectorized permutation per block position instead of
+    one scalar permutation per message per block.  Byte-identical to
+    running the scalar sponge per message, with the same permutation
+    counter totals.  Only lane-aligned rates (the FIPS 202 ones) are
+    supported.
+    """
+    if rate_bytes % 8:
+        raise ValueError("batch sponge requires a lane-aligned rate")
+    n = len(messages)
+    if n == 0:
+        return []
+    length = _check_equal_lengths(messages)
+    pad_len = rate_bytes - (length % rate_bytes)
+    padding = bytearray(pad_len)
+    padding[0] = domain_suffix
+    padding[-1] ^= 0x80
+    padding = bytes(padding)
+    padded = b"".join(bytes(m) + padding for m in messages)
+    total = length + pad_len
+    lanes_per_block = rate_bytes // 8
+    words = np.frombuffer(padded, dtype="<u8").reshape(
+        n, total // rate_bytes, lanes_per_block)
+    states = np.zeros((n, 25), dtype=np.uint64)
+    for block in range(words.shape[1]):
+        states[:, :lanes_per_block] ^= words[:, block, :]
+        states = keccak_f1600_many(states)
+    chunks = [states[:, :lanes_per_block]]
+    produced = rate_bytes
+    while produced < out_len:
+        states = keccak_f1600_many(states)
+        chunks.append(states[:, :lanes_per_block])
+        produced += rate_bytes
+    stream = np.ascontiguousarray(np.concatenate(chunks, axis=1))
+    raw = stream.astype("<u8").tobytes()
+    per = stream.shape[1] * 8
+    return [raw[i * per:i * per + out_len] for i in range(n)]
+
+
 class KeccakSponge:
     """Incremental Keccak sponge with a byte-granular rate.
 
@@ -366,6 +463,58 @@ def shake256(data: bytes, out_len: int) -> bytes:
     if ACCELERATED:
         return _hashlib.shake_256(data).digest(out_len)
     return pure_shake256(data, out_len)
+
+
+def pure_sha3_256_many(messages) -> list:
+    """SHA3-256 of an equal-length batch via the lockstep batch sponge."""
+    return _sponge_many(messages, 136, 0x06, 32)
+
+
+def pure_sha3_512_many(messages) -> list:
+    """SHA3-512 of an equal-length batch via the lockstep batch sponge."""
+    return _sponge_many(messages, 72, 0x06, 64)
+
+
+def pure_shake128_many(messages, out_len: int) -> list:
+    """SHAKE128 of an equal-length batch via the lockstep batch sponge."""
+    return _sponge_many(messages, 168, 0x1F, out_len)
+
+
+def pure_shake256_many(messages, out_len: int) -> list:
+    """SHAKE256 of an equal-length batch via the lockstep batch sponge."""
+    return _sponge_many(messages, 136, 0x1F, out_len)
+
+
+def sha3_256_many(messages) -> list:
+    """SHA3-256 digests of an equal-length message batch."""
+    if ACCELERATED:
+        _check_equal_lengths(messages)
+        return [_hashlib.sha3_256(m).digest() for m in messages]
+    return pure_sha3_256_many(messages)
+
+
+def sha3_512_many(messages) -> list:
+    """SHA3-512 digests of an equal-length message batch."""
+    if ACCELERATED:
+        _check_equal_lengths(messages)
+        return [_hashlib.sha3_512(m).digest() for m in messages]
+    return pure_sha3_512_many(messages)
+
+
+def shake128_many(messages, out_len: int) -> list:
+    """SHAKE128 outputs of an equal-length message batch."""
+    if ACCELERATED:
+        _check_equal_lengths(messages)
+        return [_hashlib.shake_128(m).digest(out_len) for m in messages]
+    return pure_shake128_many(messages, out_len)
+
+
+def shake256_many(messages, out_len: int) -> list:
+    """SHAKE256 outputs of an equal-length message batch."""
+    if ACCELERATED:
+        _check_equal_lengths(messages)
+        return [_hashlib.shake_256(m).digest(out_len) for m in messages]
+    return pure_shake256_many(messages, out_len)
 
 
 class _IncrementalXof:

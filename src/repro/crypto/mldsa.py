@@ -323,29 +323,44 @@ _NP_NTT_LAYERS, _NP_INTT_LAYERS = _np_layer_zetas()
 
 
 def _ntt_np(arr: np.ndarray) -> np.ndarray:
-    """Forward NTT of a ``(rows, 256)`` int64 batch, reduced mod q."""
+    """Forward NTT of a ``(rows, 256)`` int64 batch, reduced mod q.
+
+    Lazy reduction, like the scalar :func:`_ntt_raw`: only the twiddle
+    product is reduced per layer, sums and differences stay unreduced
+    (bounded by 9q, products by 9q^2 < 2^50 — exact in int64) and one
+    final pass normalizes into [0, q).
+    """
     out = arr % Q
     rows = out.shape[0]
     for length, zetas in _NP_NTT_LAYERS:
         v = out.reshape(rows, -1, 2, length)
-        t = v[:, :, 1, :] * zetas % Q
         lo = v[:, :, 0, :]
-        v[:, :, 1, :] = (lo - t) % Q
-        v[:, :, 0, :] = (lo + t) % Q
-    return out
+        t = v[:, :, 1, :] * zetas % Q
+        total = lo + t
+        v[:, :, 1, :] = lo - t
+        v[:, :, 0, :] = total
+    return out % Q
 
 
 def _intt_np(arr: np.ndarray) -> np.ndarray:
     """Inverse NTT of a ``(rows, 256)`` int64 batch; accepts unreduced
-    (even negative) input and returns coefficients in [0, q)."""
+    (even negative) input and returns coefficients in [0, q).
+
+    Lazy reduction, like the scalar :func:`_intt_raw`: sums double per
+    layer (bounded by 256q after eight layers, twiddle products by
+    512q^2 < 2^56 — exact in int64), with one reduction per layer on
+    the twiddled half and a final normalization.
+    """
     out = arr % Q
     rows = out.shape[0]
     for length, zetas in _NP_INTT_LAYERS:
         v = out.reshape(rows, -1, 2, length)
-        lo = v[:, :, 0, :].copy()
-        hi = v[:, :, 1, :].copy()
-        v[:, :, 0, :] = (lo + hi) % Q
-        v[:, :, 1, :] = (lo - hi) * zetas % Q
+        lo = v[:, :, 0, :]
+        hi = v[:, :, 1, :]
+        total = lo + hi
+        diff = (lo - hi) * zetas % Q
+        v[:, :, 0, :] = total
+        v[:, :, 1, :] = diff
     return out * _INV_256 % Q
 
 
@@ -384,6 +399,20 @@ def _low_bits_max_np(arr: np.ndarray, gamma2: int) -> int:
 def _inf_norm_np(arr: np.ndarray) -> int:
     """Vectorized :func:`infinity_norm` (input reduced mod q)."""
     return int(np.where(arr > Q // 2, Q - arr, arr).max())
+
+
+def _inf_norm_rows_np(arr: np.ndarray) -> np.ndarray:
+    """Per-lane infinity norm of a ``(lanes, ...)`` batch reduced mod q."""
+    lanes = arr.shape[0]
+    return np.where(arr > Q // 2, Q - arr, arr).reshape(lanes, -1).max(axis=1)
+
+
+def _low_bits_np(arr: np.ndarray, gamma2: int) -> np.ndarray:
+    """Vectorized :func:`low_bits` (input reduced mod q)."""
+    g = 2 * gamma2
+    r0 = arr % g
+    r0 = np.where(r0 > gamma2, r0 - g, r0)
+    return np.where(arr - r0 == Q - 1, r0 - 1, r0)
 
 
 def make_hint(z: int, r: int, gamma2: int) -> int:
@@ -443,6 +472,39 @@ def bit_pack(coeffs: list, a: int, b: int) -> bytes:
 def bit_unpack(data: bytes, a: int, b: int) -> list:
     """Inverse of :func:`bit_pack`; coefficients returned mod q."""
     return [(b - z) % Q for z in simple_bit_unpack(data, a + b)]
+
+
+# Vectorized packing: little-endian bit order throughout FIPS 204 means
+# every pack/unpack is ``np.packbits``/``np.unpackbits`` with
+# ``bitorder="little"`` plus a fixed-width reshape.  Each polynomial
+# occupies a whole number of bytes (256 * width bits), so packing a
+# flattened multi-poly batch is byte-identical to concatenating the
+# per-poly scalar packs above — the parity suite pins both.
+
+
+def _simple_bit_pack_np(arr: np.ndarray, width: int) -> np.ndarray:
+    """:func:`simple_bit_pack` rows of a ``(rows, n)`` int64 batch of
+    values < 2^width; returns ``(rows, n*width/8)`` uint8."""
+    rows = arr.shape[0]
+    bits = (arr[..., None] >> np.arange(width, dtype=np.int64)) & 1
+    return np.packbits(bits.astype(np.uint8).reshape(rows, -1),
+                       axis=1, bitorder="little")
+
+
+def _bit_pack_np(arr: np.ndarray, a: int, b: int) -> np.ndarray:
+    """:func:`bit_pack` rows of a ``(rows, n)`` batch reduced mod q."""
+    cent = np.where(arr > Q // 2, arr - Q, arr)
+    return _simple_bit_pack_np(b - cent, bits_for(a + b))
+
+
+def _bit_unpack_np(data: bytes, rows: int, width: int, b: int) -> np.ndarray:
+    """:func:`bit_unpack` of ``rows`` concatenated 32*width-byte blocks
+    into a ``(rows, 256)`` int64 batch (coefficients mod q)."""
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8),
+                         bitorder="little")
+    z = bits.reshape(rows * N, width).astype(np.int64) \
+        @ (1 << np.arange(width, dtype=np.int64))
+    return (b - z.reshape(rows, N)) % Q
 
 
 # ---------------------------------------------------------------------------
@@ -574,6 +636,17 @@ def expand_mask(rho_pp: bytes, kappa: int, params: MLDSAParams) -> list:
         data = shake256(seed, 32 * width)
         vec.append(bit_unpack(data, params.gamma1 - 1, params.gamma1))
     return vec
+
+
+def _expand_mask_np(rho_pp: bytes, kappa: int,
+                    params: MLDSAParams) -> np.ndarray:
+    """:func:`expand_mask` as an ``(l, 256)`` int64 batch: the same
+    SHAKE stream, unpacked in one vectorized pass."""
+    width = params.z_bits
+    data = b"".join(
+        shake256(rho_pp + (kappa + r).to_bytes(2, "little"), 32 * width)
+        for r in range(params.l))
+    return _bit_unpack_np(data, params.l, width, params.gamma1)
 
 
 def sample_in_ball(seed: bytes, params: MLDSAParams) -> list:
@@ -833,6 +906,114 @@ class MLDSASigner:
             return sig_encode(c_tilde, z.tolist(),
                               hint_bits.astype(np.int64).tolist(), p)
 
+    def sign_many(self, messages, context: bytes = b"",
+                  randomize: bool = False) -> list:
+        """Sign a whole message batch through one vectorized rejection
+        loop.
+
+        Lane *i* of the result is byte-identical to
+        ``self.sign(messages[i], context)``: every lane runs the same
+        per-attempt schedule (kappa advances by ``l`` per attempt) and
+        the same staged rejection checks, just stacked on a leading
+        batch axis through the int64 NTT kernels.  Each round resamples
+        only the still-rejected lanes, and each rejection stage
+        sub-batches to exactly the lanes the scalar path would have
+        reached — so ``crypto.mldsa.ntt_calls`` totals match the
+        per-call loop exactly.
+        """
+        messages = list(messages)
+        if PERF.enabled:
+            PERF.inc("crypto.mldsa.sign", len(messages))
+            PERF.inc("crypto.mldsa.batch_sign_lanes", len(messages))
+        with TELEMETRY.span("crypto.mldsa.sign_many",
+                            batch=len(messages)), \
+                TELEMETRY.timer("crypto.mldsa.sign_seconds"):
+            return self._sign_many(messages, context, randomize)
+
+    def _sign_many(self, messages: list, context: bytes,
+                   randomize: bool) -> list:
+        p = self.params
+        batch = len(messages)
+        if not batch:
+            return []
+        sigs = [None] * batch
+        mus = []
+        rho_pps = []
+        for message in messages:
+            mu = shake256(
+                self._tr + MLDSA._format_message(message, context), 64)
+            rnd = os.urandom(32) if randomize else bytes(32)
+            mus.append(mu)
+            rho_pps.append(shake256(self._key + rnd + mu, 64))
+        kappas = [0] * batch
+        active = list(range(batch))
+        while active:
+            lanes = len(active)
+            y = np.empty((lanes, p.l, N), dtype=np.int64)
+            for ai, lane in enumerate(active):
+                y[ai] = _expand_mask_np(rho_pps[lane], kappas[lane], p)
+                kappas[lane] += p.l
+            y_hat = _ntt_batch(y.reshape(lanes * p.l, N)) \
+                .reshape(lanes, p.l, N)
+            # Â @ ŷ rows accumulate unreduced (< l * q^2 < 2^49); the
+            # inverse transform reduces mod q.
+            w = _intt_batch(
+                np.einsum("rsn,bsn->brn", self._a_np, y_hat)
+                .reshape(lanes * p.k, N)).reshape(lanes, p.k, N)
+            w1_packed = _simple_bit_pack_np(
+                _high_bits_np(w, p.gamma2).reshape(lanes, -1), p.w1_bits)
+            c_tildes = [shake256(mus[lane] + w1_packed[ai].tobytes(),
+                                 p.ctilde_bytes)
+                        for ai, lane in enumerate(active)]
+            c = np.array([sample_in_ball(ct, p) for ct in c_tildes],
+                         dtype=np.int64)
+            c_hat = _ntt_batch(c)
+            z = (y + _intt_batch(
+                (c_hat[:, None, :] * self._s1_np[None] % Q)
+                .reshape(lanes * p.l, N)).reshape(lanes, p.l, N)) % Q
+            pass1 = np.nonzero(
+                _inf_norm_rows_np(z) < p.gamma1 - p.beta)[0]
+            if pass1.size == 0:
+                continue
+            w_minus_cs2 = (w[pass1] - _intt_batch(
+                (c_hat[pass1][:, None, :] * self._s2_np[None] % Q)
+                .reshape(pass1.size * p.k, N))
+                .reshape(pass1.size, p.k, N)) % Q
+            r0 = np.abs(_low_bits_np(w_minus_cs2, p.gamma2)) \
+                .reshape(pass1.size, -1).max(axis=1)
+            keep2 = np.nonzero(r0 < p.gamma2 - p.beta)[0]
+            if keep2.size == 0:
+                continue
+            pass2 = pass1[keep2]
+            ct0 = _intt_batch(
+                (c_hat[pass2][:, None, :] * self._t0_np[None] % Q)
+                .reshape(pass2.size * p.k, N)).reshape(pass2.size, p.k, N)
+            keep3 = np.nonzero(_inf_norm_rows_np(ct0) < p.gamma2)[0]
+            if keep3.size == 0:
+                continue
+            pass3 = pass2[keep3]
+            wm = w_minus_cs2[keep2][keep3]
+            hint_bits = (_high_bits_np(wm, p.gamma2)
+                         != _high_bits_np((wm + ct0[keep3]) % Q,
+                                          p.gamma2))
+            keep4 = np.nonzero(
+                hint_bits.reshape(pass3.size, -1).sum(axis=1)
+                <= p.omega)[0]
+            done = pass3[keep4]
+            if done.size:
+                packed_z = _bit_pack_np(
+                    z[done].reshape(done.size * p.l, N),
+                    p.gamma1 - 1, p.gamma1).reshape(done.size, -1)
+                hints_done = hint_bits[keep4].astype(np.int64)
+                for bi, ai in enumerate(done.tolist()):
+                    sigs[active[ai]] = (
+                        c_tildes[ai] + packed_z[bi].tobytes()
+                        + hint_bit_pack(hints_done[bi].tolist(), p))
+            finished = set(done.tolist())
+            active = [lane for ai, lane in enumerate(active)
+                      if ai not in finished]
+        return sigs
+
 
 class MLDSAVerifier:
     """Keyed verification context: the public key decoded and expanded
@@ -889,6 +1070,92 @@ class MLDSAVerifier:
                     w1r[j] = use_hint(1, int(war[j]), p.gamma2)
         expected = shake256(mu + w1_encode(w1_prime, p), p.ctilde_bytes)
         return expected == c_tilde
+
+    def verify_many(self, messages, signatures,
+                    context: bytes = b"") -> list:
+        """Check a signature batch in one vectorized pass.
+
+        Entry *i* of the result equals
+        ``self.verify(messages[i], signatures[i], context)``.  Lanes
+        rejected structurally (malformed encoding, z out of range) are
+        filtered before the transform stages, so surviving lanes stack
+        through the same NTT/matvec/decompose kernels the scalar path
+        runs — ``crypto.mldsa.ntt_calls`` totals match a per-call loop
+        exactly.
+        """
+        messages = list(messages)
+        signatures = list(signatures)
+        if len(messages) != len(signatures):
+            raise ValueError("messages and signatures must pair up")
+        if PERF.enabled:
+            PERF.inc("crypto.mldsa.verify", len(messages))
+            PERF.inc("crypto.mldsa.batch_verify_lanes", len(messages))
+        with TELEMETRY.span("crypto.mldsa.verify_many",
+                            batch=len(messages)), \
+                TELEMETRY.timer("crypto.mldsa.verify_seconds"):
+            return self._verify_many(messages, signatures, context)
+
+    def _verify_many(self, messages: list, signatures: list,
+                     context: bytes) -> list:
+        p = self.params
+        results = [False] * len(messages)
+        z_start = p.ctilde_bytes
+        z_end = z_start + 32 * p.z_bits * p.l
+        cand = [i for i, sig in enumerate(signatures)
+                if len(sig) == p.signature_bytes]
+        if not cand:
+            return results
+        # One unpack for every length-valid z vector, then per-lane
+        # structural checks (norm bound, hint encoding) in the same
+        # accept/reject order the scalar path decides them.
+        z_all = _bit_unpack_np(
+            b"".join(signatures[i][z_start:z_end] for i in cand),
+            len(cand) * p.l, p.z_bits, p.gamma1) \
+            .reshape(len(cand), p.l, N)
+        norms = _inf_norm_rows_np(z_all)
+        lanes = []
+        for ci, i in enumerate(cand):
+            if norms[ci] >= p.gamma1 - p.beta:
+                continue
+            hints = hint_bit_unpack(signatures[i][z_end:], p)
+            if hints is None:
+                continue
+            mu = shake256(
+                self._tr + MLDSA._format_message(messages[i], context),
+                64)
+            lanes.append((i, ci, signatures[i][:p.ctilde_bytes],
+                          hints, mu))
+        if not lanes:
+            return results
+        count = len(lanes)
+        z = z_all[np.array([lane[1] for lane in lanes])]
+        c = np.array([sample_in_ball(lane[2], p) for lane in lanes],
+                     dtype=np.int64)
+        c_hat = _ntt_batch(c)
+        z_hat = _ntt_batch(z.reshape(count * p.l, N)) \
+            .reshape(count, p.l, N)
+        # Â @ ẑ - ĉ * t̂1 per lane, unreduced (|.| < 9 * q^2 < 2^50).
+        rows = np.einsum("rsn,bsn->brn", self._a_np, z_hat) \
+            - c_hat[:, None, :] * self._t1_np[None]
+        w_approx = _intt_batch(rows.reshape(count * p.k, N)) \
+            .reshape(count, p.k, N)
+        w1 = _high_bits_np(w_approx, p.gamma2)
+        # UseHint, vectorized across every set hint bit in the batch.
+        hint_mask = np.array([lane[3] for lane in lanes], dtype=bool)
+        ais, rs, js = np.nonzero(hint_mask)
+        if ais.size:
+            vals = w_approx[ais, rs, js]
+            m = (Q - 1) // (2 * p.gamma2)
+            r1 = _high_bits_np(vals, p.gamma2)
+            r0 = _low_bits_np(vals, p.gamma2)
+            w1[ais, rs, js] = np.where(r0 > 0, (r1 + 1) % m,
+                                       (r1 - 1) % m)
+        packed = _simple_bit_pack_np(w1.reshape(count, -1), p.w1_bits)
+        for ai, (i, _ci, c_tilde, _hints, mu) in enumerate(lanes):
+            expected = shake256(mu + packed[ai].tobytes(),
+                                p.ctilde_bytes)
+            results[i] = expected == c_tilde
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -994,6 +1261,12 @@ class MLDSA:
         return self.signer(secret)._sign(message, context, randomize,
                                          _trace)
 
+    def sign_many(self, secret: bytes, messages, context: bytes = b"",
+                  randomize: bool = False) -> list:
+        """Batch :meth:`sign` (see :meth:`MLDSASigner.sign_many`)."""
+        return self.signer(secret).sign_many(messages, context,
+                                             randomize)
+
     # -- verification ------------------------------------------------------
 
     def verify(self, public: bytes, message: bytes, signature: bytes,
@@ -1013,6 +1286,17 @@ class MLDSA:
         except ValueError:
             return False
         return verifier._verify(message, signature, context)
+
+    def verify_many(self, public: bytes, messages, signatures,
+                    context: bytes = b"") -> list:
+        """Batch :meth:`verify` (see
+        :meth:`MLDSAVerifier.verify_many`)."""
+        messages = list(messages)
+        try:
+            verifier = self.verifier(public)
+        except ValueError:
+            return [False] * len(messages)
+        return verifier.verify_many(messages, signatures, context)
 
     # -- retained references -----------------------------------------------
 

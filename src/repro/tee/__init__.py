@@ -16,7 +16,7 @@ from .bootrom import (BootReport, BootRom, DEFAULT_SECTIONS,
                       PQ_EXTRA_SECTIONS, VerifiedBoot)
 from .enclave import Enclave, EnclaveState
 from .attestation import (AttestationReport, DEFAULT_REPORT_LEN,
-                          pq_report_len, verify_report)
+                          pq_report_len, verify_report, verify_reports)
 from .sealing import derive_sealing_key, seal, unseal
 from .sm import (DEFAULT_SM_STACK, ED25519_SIGNING_STACK, PQ_SM_STACK,
                  KeystoneConfig, SecurityMonitor)
@@ -39,7 +39,7 @@ __all__ = [
     "PQ_EXTRA_SECTIONS", "VerifiedBoot",
     "Enclave", "EnclaveState",
     "AttestationReport", "DEFAULT_REPORT_LEN", "pq_report_len",
-    "verify_report",
+    "verify_report", "verify_reports",
     "derive_sealing_key", "seal", "unseal",
     "KeystoneConfig", "SecurityMonitor", "DEFAULT_SM_STACK",
     "PQ_SM_STACK", "ED25519_SIGNING_STACK",

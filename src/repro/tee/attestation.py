@@ -179,12 +179,85 @@ def verify_report(report: AttestationReport, device_identity: dict,
         device_pq = device_identity.get("mldsa")
         if device_pq is None:
             return False
+        # Cached verifier contexts: the NTT-domain key expansion for
+        # the device and SM keys is paid once per key, not per report.
         scheme = MLDSA(params)
-        if not scheme.verify(device_pq, report.sm_payload(),
-                             report.sm_pq_signature):
+        try:
+            device_verifier = scheme.verifier(device_pq)
+        except ValueError:
             return False
-        if not scheme.verify(report.sm_mldsa_public,
-                             report.enclave_payload(),
-                             report.enclave_pq_signature):
+        if not device_verifier.verify(report.sm_payload(),
+                                      report.sm_pq_signature):
+            return False
+        try:
+            sm_verifier = scheme.verifier(report.sm_mldsa_public)
+        except ValueError:
+            return False
+        if not sm_verifier.verify(report.enclave_payload(),
+                                  report.enclave_pq_signature):
             return False
     return True
+
+
+def verify_reports(reports, device_identity: dict,
+                   expected_enclave_hash: bytes = None,
+                   expected_sm_hash: bytes = None,
+                   params: MLDSAParams = ML_DSA_44) -> list:
+    """Batch :func:`verify_report`: entry *i* equals
+    ``verify_report(reports[i], ...)``.
+
+    The classical signatures of every candidate report (two per report)
+    go through one Ed25519 random-linear-combination batch check, and
+    the ML-DSA signatures batch through ``verify_many`` grouped by
+    public key.  Results are boolean-identical to the scalar loop;
+    per-scheme PERF counters can differ because the batch path does not
+    short-circuit after a failed earlier check.
+    """
+    reports = list(reports)
+    results = [False] * len(reports)
+    candidates = []
+    for i, report in enumerate(reports):
+        if expected_enclave_hash is not None and \
+                report.enclave_hash != expected_enclave_hash:
+            continue
+        if expected_sm_hash is not None and \
+                report.sm_hash != expected_sm_hash:
+            continue
+        if report.post_quantum and device_identity.get("mldsa") is None:
+            continue
+        candidates.append(i)
+    if not candidates:
+        return results
+    items = []
+    for i in candidates:
+        report = reports[i]
+        items.append((device_identity["ed25519"], report.sm_payload(),
+                      report.sm_signature))
+        items.append((report.sm_ed25519_public,
+                      report.enclave_payload(),
+                      report.enclave_signature))
+    classical_ok = ed25519.verify_batch(items)
+    candidates = [i for j, i in enumerate(candidates)
+                  if classical_ok[2 * j] and classical_ok[2 * j + 1]]
+    pq = [i for i in candidates if reports[i].post_quantum]
+    for i in candidates:
+        if not reports[i].post_quantum:
+            results[i] = True
+    if pq:
+        scheme = MLDSA(params)
+        device_ok = scheme.verify_many(
+            device_identity["mldsa"],
+            [reports[i].sm_payload() for i in pq],
+            [reports[i].sm_pq_signature for i in pq])
+        pq = [i for i, ok in zip(pq, device_ok) if ok]
+        groups = {}
+        for i in pq:
+            groups.setdefault(reports[i].sm_mldsa_public, []).append(i)
+        for sm_public, indices in groups.items():
+            enclave_ok = scheme.verify_many(
+                sm_public,
+                [reports[i].enclave_payload() for i in indices],
+                [reports[i].enclave_pq_signature for i in indices])
+            for i, ok in zip(indices, enclave_ok):
+                results[i] = ok
+    return results

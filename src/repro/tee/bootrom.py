@@ -409,7 +409,11 @@ class BootRom:
                               report.classical_boot_signature):
             return False
         if self.device.post_quantum:
-            return MLDSA(self.device.mldsa_params).verify(
-                self.device.mldsa_public, message,
-                report.pq_boot_signature)
+            # Cached verifier context for the (fixed) device ML-DSA key.
+            try:
+                verifier = MLDSA(self.device.mldsa_params).verifier(
+                    self.device.mldsa_public)
+            except ValueError:
+                return False
+            return verifier.verify(message, report.pq_boot_signature)
         return not report.pq_boot_signature

@@ -299,6 +299,89 @@ class SecurityMonitor:
                     self._mldsa.signing_stack_bytes, payload)
         return report
 
+    def attest_enclaves(self, enclaves, report_data=None) -> list:
+        """Attest a batch of enclaves; entry *i* equals
+        ``attest_enclave(enclaves[i], report_data[i])`` byte for byte.
+
+        In the PQ configuration the ML-DSA signatures batch through the
+        signer's ``sign_many`` rejection-loop kernel under a single SM
+        stack frame (the per-call frames never coexist and are all the
+        same size, so the corruption outcome is identical).  The scalar
+        path is used whenever fault injection is armed — per-signature
+        fault hooks must see every sign — or when batching cannot help
+        (classical-only configuration, batches of one).
+        """
+        enclaves = list(enclaves)
+        if report_data is None:
+            data_list = [b""] * len(enclaves)
+        elif isinstance(report_data, (bytes, bytearray)):
+            data_list = [bytes(report_data)] * len(enclaves)
+        else:
+            data_list = [bytes(d) for d in report_data]
+        if len(data_list) != len(enclaves):
+            raise ValueError("report_data length mismatch")
+        if FAULTS.enabled or not self.config.post_quantum \
+                or len(enclaves) < 2:
+            return [self.attest_enclave(e, d)
+                    for e, d in zip(enclaves, data_list)]
+        for enclave in enclaves:
+            self._require_live(enclave)
+        if PERF.enabled:
+            PERF.inc("tee.sm.attestations", len(enclaves))
+        if AUDIT.enabled:
+            for enclave in enclaves:
+                AUDIT.emit("tee.sm", "attest-sign",
+                           enclave=int(enclave.enclave_id),
+                           post_quantum=True)
+        with TELEMETRY.span("tee.attest.batch", batch=len(enclaves),
+                            post_quantum=True):
+            reports = []
+            payloads = []
+            for enclave, data in zip(enclaves, data_list):
+                report = AttestationReport(
+                    enclave_hash=enclave.measurement,
+                    enclave_data=data,
+                    enclave_signature=b"",
+                    sm_hash=self.boot_report.sm_measurement,
+                    sm_ed25519_public=self.boot_report.sm_ed25519_public,
+                    sm_signature=self.boot_report.sm_cert_classical,
+                    sm_mldsa_public=self.boot_report.sm_mldsa_public,
+                    sm_pq_signature=self.boot_report.sm_cert_pq,
+                )
+                reports.append(report)
+                payloads.append(report.enclave_payload())
+            if self._sm_ed_signer is None:
+                self._sm_ed_signer = ed25519.SigningKey(
+                    self.boot_report.sm_ed25519_seed)
+            with TELEMETRY.span("tee.attest.sign", scheme="ed25519"), \
+                    TELEMETRY.timer("tee.attest.sign_seconds"):
+                for report, payload in zip(reports, payloads):
+                    report.enclave_signature = self._sign_with_stack(
+                        self._sm_ed_signer.sign, ED25519_SIGNING_STACK,
+                        payload)
+            if self._sm_mldsa_signer is None:
+                _, self._sm_mldsa_secret = self._mldsa.key_gen(
+                    self.boot_report.sm_mldsa_seed)
+                self._sm_mldsa_signer = self._mldsa.signer(
+                    self._sm_mldsa_secret)
+            with TELEMETRY.span("tee.attest.sign", scheme="mldsa",
+                                batch=len(payloads)), \
+                    TELEMETRY.timer("tee.attest.sign_seconds"):
+                if PERF.enabled:
+                    PERF.inc("tee.sm.signs", len(payloads))
+                self.stack.push_frame(self._mldsa.signing_stack_bytes)
+                try:
+                    signatures = self._sm_mldsa_signer.sign_many(
+                        payloads)
+                    if self.stack.corrupted:
+                        signatures = [bytes(b ^ 0xA5 for b in s)
+                                      for s in signatures]
+                finally:
+                    self.stack.pop_frame()
+            for report, signature in zip(reports, signatures):
+                report.enclave_pq_signature = signature
+        return reports
+
     # -- sealing ----------------------------------------------------------
 
     def sealing_key(self, enclave: Enclave) -> bytes:

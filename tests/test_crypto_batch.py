@@ -1,0 +1,442 @@
+"""Parity suites for the batch-throughput kernels.
+
+Every batch API added for serving-scale throughput — ML-DSA
+``sign_many``/``verify_many``, Ed25519 random-linear-combination batch
+verification, multi-input Keccak absorption, vectorized CIM trace
+synthesis and the TEE consumers threading them — is pinned here against
+a per-call scalar loop: byte-identical outputs (signatures, digests,
+toggle counts, reports) or boolean-identical verdicts, across all three
+ML-DSA parameter sets, ragged batch sizes and injected-invalid lanes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cim.countermeasures import MaskedCimMacro, ShuffledCimMacro
+from repro.cim.macro import DigitalCimMacro
+from repro.cim.power import PowerModel
+from repro.cim.tvla import assess_macro, welch_t
+from repro.crypto import ed25519 as ed
+from repro.crypto import hybrid
+from repro.crypto import keccak as kc
+from repro.crypto.mldsa import ML_DSA_44, ML_DSA_65, ML_DSA_87, MLDSA
+from repro.obs.exposition import parse_exposition, render
+from repro.obs.perf import counting
+from repro.tee import build_tee, verify_report, verify_reports
+
+ALL_PARAMS = (ML_DSA_44, ML_DSA_65, ML_DSA_87)
+RAGGED_SIZES = (1, 2, 63, 64, 65)
+MAX_BATCH = max(RAGGED_SIZES)
+
+
+def _messages(count: int) -> list:
+    return [b"batch-message-%04d" % i for i in range(count)]
+
+
+@pytest.fixture(scope="module", params=[p.name for p in ALL_PARAMS])
+def mldsa_setup(request):
+    params = next(p for p in ALL_PARAMS if p.name == request.param)
+    scheme = MLDSA(params)
+    public, secret = scheme.key_gen(b"\x42" * 32)
+    messages = _messages(MAX_BATCH)
+    signer = scheme.signer(secret)
+    signatures = [signer.sign(m) for m in messages]
+    return scheme, public, secret, messages, signatures
+
+
+class TestMLDSABatch:
+
+    def test_sign_many_matches_scalar_across_sizes(self, mldsa_setup):
+        scheme, _, secret, messages, signatures = mldsa_setup
+        signer = scheme.signer(secret)
+        for size in RAGGED_SIZES:
+            assert signer.sign_many(messages[:size]) == \
+                signatures[:size], size
+        assert signer.sign_many([]) == []
+
+    def test_sign_many_with_context(self, mldsa_setup):
+        scheme, _, secret, messages, _ = mldsa_setup
+        signer = scheme.signer(secret)
+        context = b"batch-ctx"
+        assert signer.sign_many(messages[:3], context=context) == \
+            [signer.sign(m, context=context) for m in messages[:3]]
+
+    def test_verify_many_matches_scalar_across_sizes(self, mldsa_setup):
+        scheme, public, _, messages, signatures = mldsa_setup
+        verifier = scheme.verifier(public)
+        scalar = [verifier.verify(m, s)
+                  for m, s in zip(messages, signatures)]
+        assert scalar == [True] * MAX_BATCH
+        for size in RAGGED_SIZES:
+            assert verifier.verify_many(messages[:size],
+                                        signatures[:size]) == \
+                scalar[:size], size
+        assert verifier.verify_many([], []) == []
+
+    def test_verify_many_rejects_injected_invalid_lanes(self,
+                                                        mldsa_setup):
+        scheme, public, _, messages, signatures = mldsa_setup
+        verifier = scheme.verifier(public)
+        bad = list(signatures[:8])
+        bad[1] = bytes(len(bad[1]))                   # zeroed signature
+        bad[3] = bad[3][:-1]                          # truncated
+        bad[5] = b"\xff" + bad[5][1:]                 # c_tilde corrupted
+        bad[6] = bad[6][:-1] + bytes([bad[6][-1] ^ 1])  # hint corrupted
+        msgs = list(messages[:8])
+        msgs[7] = b"wrong message"
+        scalar = [verifier.verify(m, s) for m, s in zip(msgs, bad)]
+        assert scalar == [True, False, True, False, True, False,
+                          False, False]
+        assert verifier.verify_many(msgs, bad) == scalar
+
+    def test_batch_counters_distinguish_batch_from_scalar(self):
+        scheme = MLDSA(ML_DSA_44)
+        public, secret = scheme.key_gen(b"\x42" * 32)
+        messages = _messages(4)
+        with counting() as window:
+            signatures = scheme.sign_many(secret, messages)
+        delta = window.delta()
+        assert delta["crypto.mldsa.sign"] == 4
+        assert delta["crypto.mldsa.batch_sign_lanes"] == 4
+        with counting() as window:
+            assert scheme.verify_many(public, messages, signatures) == \
+                [True] * 4
+        delta = window.delta()
+        assert delta["crypto.mldsa.verify"] == 4
+        assert delta["crypto.mldsa.batch_verify_lanes"] == 4
+        with counting() as window:
+            assert scheme.verify(public, messages[0], signatures[0])
+        delta = window.delta()
+        assert "crypto.mldsa.batch_verify_lanes" not in delta
+
+    def test_ntt_counter_totals_match_scalar_loop(self):
+        """Staged sub-batching must keep ``ntt_calls`` totals exactly
+        equal to the per-call loop (the transparency contract)."""
+        scheme = MLDSA(ML_DSA_44)
+        public, secret = scheme.key_gen(b"\x42" * 32)
+        messages = _messages(6)
+        signer = scheme.signer(secret)
+        with counting() as window:
+            signatures = signer.sign_many(messages)
+        batch = {k: v for k, v in window.delta().items()
+                 if not k.startswith("crypto.mldsa.batch_")}
+        with counting() as window:
+            assert [signer.sign(m) for m in messages] == signatures
+        assert window.delta() == batch
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.binary(max_size=40), min_size=0, max_size=6),
+           st.randoms(use_true_random=False))
+    def test_hypothesis_verify_many_parity(self, messages, rand):
+        scheme = MLDSA(ML_DSA_44)
+        public, secret = scheme.key_gen(b"\x42" * 32)
+        signer = scheme.signer(secret)
+        verifier = scheme.verifier(public)
+        signatures = []
+        for message in messages:
+            sig = signer.sign(message)
+            roll = rand.random()
+            if roll < 0.3:
+                position = rand.randrange(len(sig))
+                sig = (sig[:position]
+                       + bytes([sig[position] ^ (1 << rand.randrange(8))])
+                       + sig[position + 1:])
+            elif roll < 0.4:
+                sig = sig[:rand.randrange(len(sig))]
+            signatures.append(sig)
+        scalar = [verifier.verify(m, s)
+                  for m, s in zip(messages, signatures)]
+        assert verifier.verify_many(messages, signatures) == scalar
+
+
+@pytest.fixture(scope="module")
+def ed_batch():
+    lanes = []
+    for i in range(MAX_BATCH):
+        seed = bytes([i]) * 32
+        public = ed.public_key(seed)
+        message = b"attest-%04d" % i
+        lanes.append((public, message, ed.sign(seed, message)))
+    return lanes
+
+
+class TestEd25519Batch:
+
+    def test_verify_batch_matches_scalar_across_sizes(self, ed_batch):
+        for size in RAGGED_SIZES:
+            assert ed.verify_batch(ed_batch[:size]) == [True] * size
+        assert ed.verify_batch([]) == []
+
+    def test_verify_batch_localizes_offenders(self, ed_batch):
+        items = [list(lane) for lane in ed_batch[:10]]
+        items[2][2] = bytes(64)                      # invalid signature
+        items[4][1] = b"substituted message"
+        items[7][2] = items[7][2][:32] + (2**253).to_bytes(32, "little")
+        items = [tuple(lane) for lane in items]
+        scalar = [ed.verify(*lane) for lane in items]
+        expected = [True] * 10
+        expected[2] = expected[4] = expected[7] = False
+        assert scalar == expected
+        assert ed.verify_batch(items) == expected
+
+    def test_verify_batch_structural_rejects(self, ed_batch):
+        public, message, signature = ed_batch[0]
+        items = [
+            (public, message, signature),
+            (public[:-1], message, signature),        # bad pk length
+            (public, message, signature[:-1]),        # bad sig length
+            (b"\xff" * 32, message, signature),       # invalid pk
+            # R encoding no compression produces (y >= P)
+            (public, message, b"\xff" * 32 + signature[32:]),
+        ]
+        scalar = [ed.verify(*lane) for lane in items]
+        assert scalar == [True, False, False, False, False]
+        assert ed.verify_batch(items) == scalar
+
+    def test_batch_counter(self, ed_batch):
+        with counting() as window:
+            assert ed.verify_batch(ed_batch[:5]) == [True] * 5
+        assert window.delta()["crypto.ed25519.batch_verifies"] == 5
+
+
+class TestKeccakBatch:
+
+    @pytest.mark.parametrize("length", [0, 1, 135, 136, 137, 300])
+    def test_multi_input_parity(self, length):
+        rng = np.random.default_rng(length)
+        msgs = [rng.integers(0, 256, size=length,
+                             dtype=np.uint8).tobytes() for _ in range(5)]
+        assert kc.pure_sha3_256_many(msgs) == \
+            [kc.pure_sha3_256(m) for m in msgs]
+        assert kc.pure_sha3_512_many(msgs) == \
+            [kc.pure_sha3_512(m) for m in msgs]
+        for out_len in (1, 137, 300):
+            assert kc.pure_shake128_many(msgs, out_len) == \
+                [kc.pure_shake128(m, out_len) for m in msgs]
+            assert kc.pure_shake256_many(msgs, out_len) == \
+                [kc.pure_shake256(m, out_len) for m in msgs]
+        assert kc.sha3_256_many(msgs) == [kc.sha3_256(m) for m in msgs]
+        assert kc.sha3_512_many(msgs) == [kc.sha3_512(m) for m in msgs]
+        assert kc.shake128_many(msgs, 64) == \
+            [kc.shake128(m, 64) for m in msgs]
+        assert kc.shake256_many(msgs, 64) == \
+            [kc.shake256(m, 64) for m in msgs]
+
+    def test_vectorized_permutation_matches_reference(self):
+        rng = np.random.default_rng(7)
+        states = rng.integers(0, 2**64, size=(6, 25), dtype=np.uint64)
+        out = kc.keccak_f1600_many(states)
+        for row in range(6):
+            assert out[row].tolist() == kc.keccak_f1600_reference(
+                [int(lane) for lane in states[row]])
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(ValueError):
+            kc.sha3_256_many([b"a", b"bb"])
+        with pytest.raises(ValueError):
+            kc.pure_shake256_many([b"a", b"bb"], 32)
+
+    def test_empty_batch(self):
+        assert kc.pure_sha3_256_many([]) == []
+        assert kc.sha3_256_many([]) == []
+
+    def test_permutation_counter_parity(self):
+        msgs = [bytes([i]) * 200 for i in range(4)]
+        with counting() as window:
+            kc.pure_shake256_many(msgs, 300)
+        batch = window.delta()["crypto.keccak.permutations"]
+        with counting() as window:
+            for m in msgs:
+                kc.pure_shake256(m, 300)
+        assert batch == window.delta()["crypto.keccak.permutations"]
+
+
+def _cim_macros(weights):
+    return (
+        ("plain", lambda: DigitalCimMacro(list(weights))),
+        ("masked1", lambda: MaskedCimMacro(list(weights), seed=5)),
+        ("masked2", lambda: MaskedCimMacro(list(weights), seed=5,
+                                           order=2)),
+        ("shuffled", lambda: ShuffledCimMacro(list(weights), seed=9)),
+    )
+
+
+class TestCimVectorized:
+
+    @pytest.mark.parametrize("length", [1, 3, 16])
+    def test_query_fresh_many_bit_equal(self, length):
+        rng = np.random.default_rng(length)
+        weights = [int(w) for w in rng.integers(0, 16, length)]
+        masks = rng.integers(0, 2, size=(40, length))
+        for name, make in _cim_macros(weights):
+            scalar_macro = make()
+            scalar = [scalar_macro.query_fresh([int(b) for b in row])
+                      for row in masks]
+            batch_macro = make()
+            assert batch_macro.query_fresh_many(masks).tolist() == \
+                scalar, name
+            # Final macro state (registers, tree nodes, RNG stream)
+            # must match the scalar loop exactly.
+            assert batch_macro.mac_register == scalar_macro.mac_register
+            assert batch_macro.tree._levels == scalar_macro.tree._levels
+            if hasattr(batch_macro, "_rng"):
+                assert batch_macro._rng.bit_generator.state == \
+                    scalar_macro._rng.bit_generator.state, name
+
+    def test_query_fresh_many_validates(self):
+        macro = DigitalCimMacro([1, 2, 3])
+        with pytest.raises(ValueError):
+            macro.query_fresh_many(np.zeros((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            macro.query_fresh_many(np.full((2, 3), 2, dtype=np.int64))
+
+    def test_measure_many_parity(self):
+        toggles = list(range(30))
+        for sigma in (0.0, 1.7):
+            scalar_power = PowerModel(noise_sigma=sigma, seed=3)
+            batch_power = PowerModel(noise_sigma=sigma, seed=3)
+            assert [scalar_power.measure(t) for t in toggles] == \
+                batch_power.measure_many(toggles).tolist()
+
+    def test_trace_parity_with_interleaved_scalar_loop(self):
+        weights = [3, 7, 15, 0, 9, 12, 1, 4]
+        inputs = [1, 0, 1, 1, 0, 1, 0, 1]
+        scalar_macro = MaskedCimMacro(list(weights), seed=2)
+        scalar_power = PowerModel(noise_sigma=1.0, seed=4)
+        scalar = [scalar_power.measure(scalar_macro.query_fresh(inputs))
+                  for _ in range(25)]
+        batch_macro = MaskedCimMacro(list(weights), seed=2)
+        batch_power = PowerModel(noise_sigma=1.0, seed=4)
+        assert batch_power.trace(batch_macro, inputs,
+                                 repetitions=25).tolist() == scalar
+
+    def test_tvla_matches_scalar_reference_loop(self):
+        """``assess_macro`` pinned to an inline copy of the pre-batch
+        scalar loop, including the interleaved noise-stream order."""
+        weights = [0, 3, 7, 15, 15, 0, 7, 3]
+        traces, sigma, seed = 60, 1.0, 11
+
+        def scalar_reference(factory):
+            rng = np.random.default_rng(seed)
+            power = PowerModel(noise_sigma=sigma, seed=seed + 1)
+            mask = [1] * len(weights)
+            fixed_samples, random_samples = [], []
+            fixed_macro = factory(list(weights))
+            for _ in range(traces):
+                fixed_samples.append(
+                    power.measure(fixed_macro.query_fresh(mask)))
+                random_weights = [int(w)
+                                  for w in rng.integers(0, 16,
+                                                        len(weights))]
+                random_samples.append(power.measure(
+                    factory(random_weights).query_fresh(mask)))
+            return welch_t(fixed_samples, random_samples)
+
+        for factory in (DigitalCimMacro,
+                        lambda w: MaskedCimMacro(w, seed=6)):
+            got = assess_macro(factory, weights, traces=traces,
+                               noise_sigma=sigma, seed=seed)
+            assert got.t_statistic == scalar_reference(factory)
+
+    def test_traces_vectorized_counter(self):
+        macro = DigitalCimMacro([1, 2, 3, 4])
+        masks = np.zeros((12, 4), dtype=np.int64)
+        with counting() as window:
+            macro.query_fresh_many(masks)
+        assert window.delta()["cim.traces_vectorized"] == 11
+
+
+class TestConsumers:
+
+    @pytest.fixture(scope="class")
+    def pq_platform(self):
+        return build_tee(post_quantum=True)
+
+    def test_attest_enclaves_byte_identical(self, pq_platform):
+        sm = pq_platform.sm
+        enclaves = [sm.create_enclave(b"batch-enclave-%d" % i * 64)
+                    for i in range(3)]
+        data = [b"d%d" % i for i in range(3)]
+        try:
+            scalar = [sm.attest_enclave(e, d).encode()
+                      for e, d in zip(enclaves, data)]
+            batch = [r.encode()
+                     for r in sm.attest_enclaves(enclaves, data)]
+            assert scalar == batch
+        finally:
+            for enclave in enclaves:
+                sm.destroy_enclave(enclave)
+
+    def test_verify_reports_boolean_identical(self, pq_platform):
+        sm = pq_platform.sm
+        identity = pq_platform.device.public_identity()
+        enclaves = [sm.create_enclave(b"verify-enclave-%d" % i * 64)
+                    for i in range(3)]
+        try:
+            reports = sm.attest_enclaves(enclaves)
+            reports[1].enclave_pq_signature = bytes(
+                len(reports[1].enclave_pq_signature))
+            scalar = [verify_report(r, identity) for r in reports]
+            assert scalar == [True, False, True]
+            assert verify_reports(reports, identity) == scalar
+            expected = enclaves[0].measurement
+            assert verify_reports(
+                reports, identity,
+                expected_enclave_hash=expected) == \
+                [verify_report(r, identity,
+                               expected_enclave_hash=expected)
+                 for r in reports]
+        finally:
+            for enclave in enclaves:
+                sm.destroy_enclave(enclave)
+
+    def test_hybrid_batch_parity(self):
+        pair = hybrid.HybridKeyPair(b"\x01" * 32, b"\x02" * 32)
+        messages = _messages(4)
+        signatures = pair.sign_many(messages)
+        assert signatures == [pair.sign(m) for m in messages]
+        bad = list(signatures)
+        bad[1] = bytes(64) + bad[1][64:]              # classical invalid
+        bad[2] = bad[2][:64] + bytes(len(bad[2]) - 64)  # pq invalid
+        bad[3] = b"short"
+        scalar = [hybrid.verify(pair.public, m, s)
+                  for m, s in zip(messages, bad)]
+        assert scalar == [True, False, False, False]
+        assert hybrid.verify_many(pair.public, messages, bad) == scalar
+
+    def test_device_sign_post_quantum_many(self, pq_platform):
+        device = pq_platform.device
+        messages = _messages(3)
+        assert device.sign_post_quantum_many(messages) == \
+            [device.sign_post_quantum(m) for m in messages]
+
+
+def test_batch_counters_render_and_parse_roundtrip():
+    """The new PERF counters must survive the exposition round trip
+    (rendered by ``scripts/obs_export.py``, re-parsed strictly)."""
+    scheme = MLDSA(ML_DSA_44)
+    public, secret = scheme.key_gen(b"\x42" * 32)
+    with counting() as window:
+        signatures = scheme.sign_many(secret, _messages(2))
+        scheme.verify_many(public, _messages(2), signatures)
+        seed = b"\x09" * 32
+        message = b"expose"
+        ed.verify_batch([(ed.public_key(seed), message,
+                          ed.sign(seed, message))])
+        DigitalCimMacro([1, 2]).query_fresh_many(
+            np.zeros((3, 2), dtype=np.int64))
+    delta = window.delta()
+    for counter in ("crypto.mldsa.batch_sign_lanes",
+                    "crypto.mldsa.batch_verify_lanes",
+                    "crypto.ed25519.batch_verifies",
+                    "cim.traces_vectorized"):
+        assert delta[counter] > 0, counter
+    families = parse_exposition(render(perf=dict(delta)))
+    events = {labels["event"]: value for labels, value in
+              families["repro_perf_events_total"]}
+    assert events["crypto.mldsa.batch_sign_lanes"] == 2.0
+    assert events["crypto.mldsa.batch_verify_lanes"] == 2.0
+    assert events["crypto.ed25519.batch_verifies"] == 1.0
+    assert events["cim.traces_vectorized"] == 2.0
