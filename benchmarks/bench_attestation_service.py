@@ -1,0 +1,222 @@
+"""Attestation service at fleet scale (ISSUE 10).
+
+Sweeps the :class:`~repro.tee.service.AttestationService` over 10k /
+100k / 1M simulated clients drawn from a bounded device pool — a mixed
+stream of fresh verifications (first sight of each report content),
+session-cache hits (steady-state re-attestation) and invalid lanes
+(tampered signatures, unregistered devices, malformed bytes) — and
+gates a verifications-per-second floor at the 100k tier on CI-class
+machines.  A second measurement pins the Ed25519 Pippenger bucket MSM
+against the interleaved-Straus chain it replaces above the lane
+crossover, and a third asserts the service's serial-vs-sharded byte
+parity (results, audit ledger, PERF counters) on a representative
+workload.
+
+The tier sweep runs with no telemetry subscriber: a subscriber
+deliberately bypasses the session cache (timed spans cannot be
+replayed), which is its own benchmark — ``bench_obs_overhead`` — not
+this one.  PERF counting stays on, so the bench-history gate tracks
+the service counters run over run.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto import ed25519 as ed
+from repro.obs import TELEMETRY
+from repro.obs.audit import AUDIT, canonical_encode
+from repro.obs.perf import counting
+from repro.runtime import available_cpus
+from repro.tee import AttestationService, build_tee
+
+from conftest import write_table
+
+#: Simulated-client tiers for the throughput sweep.
+TIERS = (10_000, 100_000, 1_000_000)
+
+#: Requests per drain wave in the steady-state phase (one drain's
+#: batches all read the cache frozen at drain start, so hits only
+#: accrue *across* waves — exactly a serving loop's arrival windows).
+WAVE = 50_000
+
+#: Verifications/s floor gated at the 100k tier on CI-class machines.
+SERVICE_FLOOR_100K = 20_000.0
+
+#: Pippenger-over-Straus speedup floor at the gate lane count.
+MSM_SPEEDUP_FLOOR = 1.5
+MSM_GATE_LANES = 256
+
+_GATE_MIN_CPUS = 4
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """Bounded device pool: 2 hybrid-PQ + 2 classical devices, two
+    enclaves each, four report-data variants per enclave."""
+    devices = {}
+    pool = []            # (device_id, report_bytes) distinct contents
+    for idx, post_quantum in ((0, True), (1, True), (2, False),
+                              (3, False)):
+        root = b"bench-service-device-%02d-root-pad" % idx
+        platform = build_tee(root[:32], post_quantum=post_quantum)
+        device_id = f"dev{idx}"
+        devices[device_id] = platform.device.public_identity()
+        enclaves = [platform.sm.create_enclave(b"enclave-%d" % e)
+                    for e in range(2)]
+        for enclave in enclaves:
+            for variant in range(4):
+                report = platform.sm.attestation_requests(
+                    [enclave], [b"variant-%d" % variant])[0]
+                pool.append((device_id, report))
+    tampered = bytearray(pool[0][1])
+    tampered[-1] ^= 0x01                      # device-signature break
+    invalid = [
+        (pool[0][0], bytes(tampered)),        # fails crypto (cached)
+        ("ghost", pool[1][1]),                # unregistered device
+        (pool[2][0], b"\x17" * 33),           # malformed encoding
+    ]
+    return {"devices": devices, "pool": pool, "invalid": invalid}
+
+
+def _mixed_stream(fleet, count, seed):
+    """Deterministic request mix: ~0.5% invalid lanes interleaved into
+    a rotation over the valid pool (seed-stable admission order)."""
+    pool = fleet["pool"]
+    invalid = fleet["invalid"]
+    stream = []
+    state = seed & 0x7FFFFFFF
+    for i in range(count):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        if state % 200 == 0:
+            stream.append(invalid[state % len(invalid)])
+        else:
+            stream.append(pool[state % len(pool)])
+    return stream
+
+
+def _run_tier(fleet, count):
+    """One tier: onboarding drain (every distinct content once), then
+    steady-state waves; returns (wall seconds, ok lanes, lanes)."""
+    service = AttestationService(dict(fleet["devices"]), max_batch=256)
+    warmup = list(fleet["pool"]) + list(fleet["invalid"])
+    stream = _mixed_stream(fleet, count - len(warmup), seed=count)
+    ok = 0
+    start = time.perf_counter()
+    for result in service.process(warmup):
+        ok += result["ok"]
+    for lo in range(0, len(stream), WAVE):
+        for result in service.process(stream[lo:lo + WAVE]):
+            ok += result["ok"]
+    wall = time.perf_counter() - start
+    return wall, ok, len(warmup) + len(stream)
+
+
+def test_service_tier_sweep(benchmark, fleet, report_dir):
+    telemetry_was, TELEMETRY.enabled = TELEMETRY.enabled, False
+    try:
+        rows = []
+        gate_rate = None
+        for tier in TIERS:
+            wall, ok, lanes = _run_tier(fleet, tier)
+            assert lanes == tier
+            # ~0.5% of the steady-state stream is invalid by
+            # construction; everything else must verify.
+            assert 0.99 <= ok / lanes < 1.0
+            rate = lanes / wall
+            if tier == 100_000:
+                gate_rate = rate
+            rows.append([f"{tier:,}", f"{wall:.3f} s",
+                         f"{rate:,.0f}/s", f"{lanes - ok}"])
+    finally:
+        TELEMETRY.enabled = telemetry_was
+    write_table(report_dir, "attestation_service",
+                "Attestation-service throughput: mixed fresh/cached/"
+                "invalid lanes over a bounded device pool "
+                f"(floor {SERVICE_FLOOR_100K:,.0f}/s at the 100k tier "
+                "on CI-class machines)",
+                ["clients", "wall", "verifications/s", "rejected"],
+                rows)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if available_cpus() >= _GATE_MIN_CPUS:
+        assert gate_rate >= SERVICE_FLOOR_100K, rows
+
+
+def test_pippenger_vs_straus_crossover(benchmark, report_dir,
+                                       monkeypatch):
+    """The bucket MSM must beat the interleaved-Straus chain by the
+    documented factor at the gate lane count, while staying
+    boolean-identical to it and to the scalar loop."""
+    items = []
+    for i in range(MSM_GATE_LANES):
+        seed = bytes([i % 256, i // 256]) * 16
+        message = b"msm-lane-%04d" % i
+        items.append((ed.public_key(seed), message,
+                      ed.sign(seed, message)))
+
+    def clock(fn, rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar = [ed.verify(*item) for item in items]
+    monkeypatch.setattr(ed, "_MSM_LANES", 10 ** 9)
+    assert ed.verify_batch(items) == scalar == [True] * len(items)
+    straus_wall = clock(lambda: ed.verify_batch(items), 3)
+    monkeypatch.setattr(ed, "_MSM_LANES", 2)
+    with counting() as window:
+        assert ed.verify_batch(items) == scalar
+    assert window.delta()["crypto.ed25519.msm_points"] == \
+        2 * len(items) + 1
+    msm_wall = clock(lambda: ed.verify_batch(items), 3)
+    monkeypatch.undo()
+    # The shipped crossover must route this batch to the MSM path.
+    assert len(items) >= ed._MSM_LANES
+    speedup = straus_wall / msm_wall
+    write_table(report_dir, "attestation_service_msm",
+                f"Ed25519 combined-equation chain at {MSM_GATE_LANES} "
+                "lanes: Pippenger bucket MSM vs interleaved Straus "
+                f"(floor {MSM_SPEEDUP_FLOOR:.1f}x on CI-class machines)",
+                ["chain", "wall", "speedup"],
+                [["interleaved Straus", f"{straus_wall * 1e3:.1f} ms",
+                  ""],
+                 ["Pippenger bucket MSM", f"{msm_wall * 1e3:.1f} ms",
+                  f"{speedup:.2f}x"]])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if available_cpus() >= _GATE_MIN_CPUS:
+        assert speedup >= MSM_SPEEDUP_FLOOR, (straus_wall, msm_wall)
+
+
+def test_service_serial_vs_sharded_parity(benchmark, fleet):
+    """Service results, audit ledger and PERF counters byte-identical
+    between a serial drain and ``run_sharded`` workers."""
+
+    def run(jobs):
+        service = AttestationService(dict(fleet["devices"]),
+                                     max_batch=64)
+        submissions = (list(fleet["pool"]) + list(fleet["invalid"])
+                       + _mixed_stream(fleet, 2000, seed=7))
+        audit_was = AUDIT.enabled
+        AUDIT.reset()
+        AUDIT.enable()
+        try:
+            with counting() as window:
+                results = service.process(submissions, jobs=jobs)
+            audit_blob = canonical_encode(AUDIT.export_records())
+        finally:
+            AUDIT.reset()
+            AUDIT.enabled = audit_was
+        counters = {k: v for k, v in sorted(window.delta().items())
+                    if not k.startswith("runtime.")}
+        return (canonical_encode(results), audit_blob,
+                canonical_encode(counters))
+
+    serial = run(jobs=1)
+    sharded = run(jobs=2)
+    assert sharded[0] == serial[0], "service results diverged"
+    assert sharded[1] == serial[1], "audit ledgers diverged"
+    assert sharded[2] == serial[2], "PERF counters diverged"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

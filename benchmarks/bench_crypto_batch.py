@@ -5,7 +5,8 @@ batches, so the per-operation cost that matters at scale is the
 *amortized* one: ML-DSA ``sign_many``/``verify_many`` stack message
 lanes through the int64 NTT kernels, Ed25519 batch verification folds
 the whole batch into one random-linear-combination equation, and the
-multi-input Keccak sponge absorbs equal-length messages in lockstep.
+multi-input Keccak sponge absorbs a ragged batch in lockstep buckets
+keyed by padded block count.
 
 Every benchmarked batch call is parity-checked against the per-call
 scalar loop in the same test (byte- or boolean-identical), the batch

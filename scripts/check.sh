@@ -26,6 +26,7 @@ REPRO_TELEMETRY=1 REPRO_PERF=1 python -m pytest -q \
     benchmarks/bench_crypto_batch.py \
     benchmarks/bench_cim_passive.py \
     benchmarks/bench_cim_higher_order.py \
+    benchmarks/bench_attestation_service.py \
     benchmarks/bench_obs_overhead.py
 
 echo "== fault campaign summary =="

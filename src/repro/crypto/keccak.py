@@ -248,40 +248,30 @@ def keccak_f1600_many(states: "np.ndarray") -> "np.ndarray":
     return np.stack(a, axis=1)
 
 
-def _check_equal_lengths(messages) -> int:
-    lengths = {len(m) for m in messages}
-    if len(lengths) > 1:
-        raise ValueError(
-            f"batch absorb requires equal-length messages, got {sorted(lengths)}"
-        )
-    return lengths.pop() if lengths else 0
+def _sponge_lockstep(messages, rate_bytes: int, domain_suffix: int,
+                     out_len: int) -> list:
+    """Lockstep batch sponge over messages with ONE padded block count.
 
-
-def _sponge_many(messages, rate_bytes: int, domain_suffix: int,
-                 out_len: int) -> list:
-    """Hash equal-length ``messages`` through one lockstep batch sponge.
-
-    All messages share the same length, so their padded block schedules
-    are identical and the whole batch can absorb (and squeeze) in
-    lockstep: one vectorized permutation per block position instead of
-    one scalar permutation per message per block.  Byte-identical to
-    running the scalar sponge per message, with the same permutation
-    counter totals.  Only lane-aligned rates (the FIPS 202 ones) are
-    supported.
+    Every message pads to the same number of rate-sized blocks (the
+    caller buckets by ``len(m) // rate``), so the batch absorbs (and
+    squeezes) in lockstep: one vectorized permutation per block position
+    instead of one scalar permutation per message per block.  The pad
+    position differs per message — each padded row is built
+    independently — but the block *schedule* is shared, which is all
+    lockstep needs.  Byte-identical to the scalar sponge per message,
+    with the same permutation counter totals.
     """
-    if rate_bytes % 8:
-        raise ValueError("batch sponge requires a lane-aligned rate")
     n = len(messages)
-    if n == 0:
-        return []
-    length = _check_equal_lengths(messages)
-    pad_len = rate_bytes - (length % rate_bytes)
-    padding = bytearray(pad_len)
-    padding[0] = domain_suffix
-    padding[-1] ^= 0x80
-    padding = bytes(padding)
-    padded = b"".join(bytes(m) + padding for m in messages)
-    total = length + pad_len
+    parts = []
+    for m in messages:
+        pad_len = rate_bytes - (len(m) % rate_bytes)
+        padding = bytearray(pad_len)
+        padding[0] = domain_suffix
+        padding[-1] ^= 0x80
+        parts.append(bytes(m))
+        parts.append(bytes(padding))
+    padded = b"".join(parts)
+    total = len(padded) // n
     lanes_per_block = rate_bytes // 8
     words = np.frombuffer(padded, dtype="<u8").reshape(
         n, total // rate_bytes, lanes_per_block)
@@ -299,6 +289,34 @@ def _sponge_many(messages, rate_bytes: int, domain_suffix: int,
     raw = stream.astype("<u8").tobytes()
     per = stream.shape[1] * 8
     return [raw[i * per:i * per + out_len] for i in range(n)]
+
+
+def _sponge_many(messages, rate_bytes: int, domain_suffix: int,
+                 out_len: int) -> list:
+    """Hash a (possibly ragged-length) batch through lockstep sponges.
+
+    Messages are bucketed by padded block count — ``len(m) // rate``,
+    since FIPS 202 padding always adds between 1 and ``rate`` bytes —
+    and each bucket runs one lockstep pass (:func:`_sponge_lockstep`).
+    Results come back in input order, and the permutation counter total
+    is exactly the sum of the scalar per-message schedules, independent
+    of how the lengths bucket.  Only lane-aligned rates (the FIPS 202
+    ones) are supported.
+    """
+    if rate_bytes % 8:
+        raise ValueError("batch sponge requires a lane-aligned rate")
+    if not len(messages):
+        return []
+    buckets = {}
+    for i, m in enumerate(messages):
+        buckets.setdefault(len(m) // rate_bytes, []).append(i)
+    out = [None] * len(messages)
+    for _blocks, indices in sorted(buckets.items()):
+        digests = _sponge_lockstep([messages[i] for i in indices],
+                                   rate_bytes, domain_suffix, out_len)
+        for i, digest in zip(indices, digests):
+            out[i] = digest
+    return out
 
 
 class KeccakSponge:
@@ -466,53 +484,49 @@ def shake256(data: bytes, out_len: int) -> bytes:
 
 
 def pure_sha3_256_many(messages) -> list:
-    """SHA3-256 of an equal-length batch via the lockstep batch sponge."""
+    """SHA3-256 of a (possibly ragged) batch via the bucketed sponge."""
     return _sponge_many(messages, 136, 0x06, 32)
 
 
 def pure_sha3_512_many(messages) -> list:
-    """SHA3-512 of an equal-length batch via the lockstep batch sponge."""
+    """SHA3-512 of a (possibly ragged) batch via the bucketed sponge."""
     return _sponge_many(messages, 72, 0x06, 64)
 
 
 def pure_shake128_many(messages, out_len: int) -> list:
-    """SHAKE128 of an equal-length batch via the lockstep batch sponge."""
+    """SHAKE128 of a (possibly ragged) batch via the bucketed sponge."""
     return _sponge_many(messages, 168, 0x1F, out_len)
 
 
 def pure_shake256_many(messages, out_len: int) -> list:
-    """SHAKE256 of an equal-length batch via the lockstep batch sponge."""
+    """SHAKE256 of a (possibly ragged) batch via the bucketed sponge."""
     return _sponge_many(messages, 136, 0x1F, out_len)
 
 
 def sha3_256_many(messages) -> list:
-    """SHA3-256 digests of an equal-length message batch."""
+    """SHA3-256 digests of a message batch (lengths may differ)."""
     if ACCELERATED:
-        _check_equal_lengths(messages)
         return [_hashlib.sha3_256(m).digest() for m in messages]
     return pure_sha3_256_many(messages)
 
 
 def sha3_512_many(messages) -> list:
-    """SHA3-512 digests of an equal-length message batch."""
+    """SHA3-512 digests of a message batch (lengths may differ)."""
     if ACCELERATED:
-        _check_equal_lengths(messages)
         return [_hashlib.sha3_512(m).digest() for m in messages]
     return pure_sha3_512_many(messages)
 
 
 def shake128_many(messages, out_len: int) -> list:
-    """SHAKE128 outputs of an equal-length message batch."""
+    """SHAKE128 outputs of a message batch (lengths may differ)."""
     if ACCELERATED:
-        _check_equal_lengths(messages)
         return [_hashlib.shake_128(m).digest(out_len) for m in messages]
     return pure_shake128_many(messages, out_len)
 
 
 def shake256_many(messages, out_len: int) -> list:
-    """SHAKE256 outputs of an equal-length message batch."""
+    """SHAKE256 outputs of a message batch (lengths may differ)."""
     if ACCELERATED:
-        _check_equal_lengths(messages)
         return [_hashlib.shake_256(m).digest(out_len) for m in messages]
     return pure_shake256_many(messages, out_len)
 

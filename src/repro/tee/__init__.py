@@ -20,6 +20,7 @@ from .attestation import (AttestationReport, DEFAULT_REPORT_LEN,
 from .sealing import derive_sealing_key, seal, unseal
 from .sm import (DEFAULT_SM_STACK, ED25519_SIGNING_STACK, PQ_SM_STACK,
                  KeystoneConfig, SecurityMonitor)
+from .service import AttestationService, ServiceRequest
 from .platform import TeePlatform, build_tee, synthetic_sm_binary
 from .delivery import (AttestedPublisher, DeliveryChannel,
                        DeliveryError, DeliveryOutcome,
@@ -43,5 +44,6 @@ __all__ = [
     "derive_sealing_key", "seal", "unseal",
     "KeystoneConfig", "SecurityMonitor", "DEFAULT_SM_STACK",
     "PQ_SM_STACK", "ED25519_SIGNING_STACK",
+    "AttestationService", "ServiceRequest",
     "TeePlatform", "build_tee", "synthetic_sm_binary",
 ]

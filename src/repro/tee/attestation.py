@@ -199,21 +199,35 @@ def verify_report(report: AttestationReport, device_identity: dict,
     return True
 
 
-def verify_reports(reports, device_identity: dict,
+def verify_reports(reports, device_identity,
                    expected_enclave_hash: bytes = None,
                    expected_sm_hash: bytes = None,
                    params: MLDSAParams = ML_DSA_44) -> list:
     """Batch :func:`verify_report`: entry *i* equals
     ``verify_report(reports[i], ...)``.
 
+    ``device_identity`` is either ONE identity dict applied to every
+    report, or a sequence of identity dicts pairing up with ``reports``
+    — the attestation-service shape, where one flushed micro-batch
+    mixes reports from many devices.
+
     The classical signatures of every candidate report (two per report)
     go through one Ed25519 random-linear-combination batch check, and
     the ML-DSA signatures batch through ``verify_many`` grouped by
-    public key.  Results are boolean-identical to the scalar loop;
-    per-scheme PERF counters can differ because the batch path does not
-    short-circuit after a failed earlier check.
+    public key (device keys and SM keys each group independently).
+    Results are boolean-identical to the scalar loop; per-scheme PERF
+    counters can differ because the batch path does not short-circuit
+    after a failed earlier check.
     """
     reports = list(reports)
+    if isinstance(device_identity, dict):
+        identities = [device_identity] * len(reports)
+    else:
+        identities = list(device_identity)
+        if len(identities) != len(reports):
+            raise ValueError("one device identity per report required, "
+                             f"got {len(identities)} identities for "
+                             f"{len(reports)} reports")
     results = [False] * len(reports)
     candidates = []
     for i, report in enumerate(reports):
@@ -223,7 +237,7 @@ def verify_reports(reports, device_identity: dict,
         if expected_sm_hash is not None and \
                 report.sm_hash != expected_sm_hash:
             continue
-        if report.post_quantum and device_identity.get("mldsa") is None:
+        if report.post_quantum and identities[i].get("mldsa") is None:
             continue
         candidates.append(i)
     if not candidates:
@@ -231,7 +245,7 @@ def verify_reports(reports, device_identity: dict,
     items = []
     for i in candidates:
         report = reports[i]
-        items.append((device_identity["ed25519"], report.sm_payload(),
+        items.append((identities[i]["ed25519"], report.sm_payload(),
                       report.sm_signature))
         items.append((report.sm_ed25519_public,
                       report.enclave_payload(),
@@ -245,13 +259,19 @@ def verify_reports(reports, device_identity: dict,
             results[i] = True
     if pq:
         scheme = MLDSA(params)
-        device_ok = scheme.verify_many(
-            device_identity["mldsa"],
-            [reports[i].sm_payload() for i in pq],
-            [reports[i].sm_pq_signature for i in pq])
-        pq = [i for i, ok in zip(pq, device_ok) if ok]
-        groups = {}
+        device_groups = {}
         for i in pq:
+            device_groups.setdefault(
+                bytes(identities[i]["mldsa"]), []).append(i)
+        passed = []
+        for device_public, indices in device_groups.items():
+            device_ok = scheme.verify_many(
+                device_public,
+                [reports[i].sm_payload() for i in indices],
+                [reports[i].sm_pq_signature for i in indices])
+            passed.extend(i for i, ok in zip(indices, device_ok) if ok)
+        groups = {}
+        for i in sorted(passed):
             groups.setdefault(reports[i].sm_mldsa_public, []).append(i)
         for sm_public, indices in groups.items():
             enclave_ok = scheme.verify_many(

@@ -382,6 +382,17 @@ class SecurityMonitor:
                 report.enclave_pq_signature = signature
         return reports
 
+    def attestation_requests(self, enclaves, report_data=None) -> list:
+        """Wire-format attestation submissions for a batch of enclaves.
+
+        The encoded-bytes shape a fleet device ships to an
+        :class:`~repro.tee.service.AttestationService`: entry *i* is
+        ``attest_enclaves(...)[i].encode()``.
+        """
+        return [report.encode()
+                for report in self.attest_enclaves(enclaves,
+                                                   report_data)]
+
     # -- sealing ----------------------------------------------------------
 
     def sealing_key(self, enclave: Enclave) -> bytes:

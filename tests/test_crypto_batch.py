@@ -200,6 +200,86 @@ class TestEd25519Batch:
             assert ed.verify_batch(ed_batch[:5]) == [True] * 5
         assert window.delta()["crypto.ed25519.batch_verifies"] == 5
 
+    def test_empty_batch_allocates_no_span(self):
+        from repro.obs import TELEMETRY
+        was_enabled = TELEMETRY.enabled
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            assert ed.verify_batch([]) == []
+            spans = TELEMETRY.tracer.snapshot()
+        finally:
+            TELEMETRY.reset()
+            TELEMETRY.enabled = was_enabled
+        assert spans == []
+
+    def test_batch_of_one_short_circuits_to_scalar(self, ed_batch):
+        with counting() as window:
+            assert ed.verify_batch(ed_batch[:1]) == [True]
+        delta = window.delta()
+        assert "crypto.ed25519.batch_verifies" not in delta
+        assert delta["crypto.ed25519.verify"] == 1
+
+    def test_duplicate_keys_share_one_wnaf_table(self, monkeypatch):
+        from repro.runtime.memo import Memo
+        seed = b"\x21" * 32
+        public = ed.public_key(seed)
+        lanes = [(public, b"dup-%d" % i, ed.sign(seed, b"dup-%d" % i))
+                 for i in range(6)]
+        # Fresh memo: the batch-local sharing, not global cache warmth,
+        # must deduplicate the table build.
+        monkeypatch.setattr(ed, "_VERIFY_MEMO", Memo(maxsize=256))
+        calls = []
+        real_table = ed._batch_verify_table
+
+        def counting_table(public):
+            calls.append(bytes(public))
+            return real_table(public)
+
+        monkeypatch.setattr(ed, "_batch_verify_table", counting_table)
+        with counting() as cold:
+            assert ed.verify_batch(lanes) == [True] * len(lanes)
+        cold_delta = cold.delta()   # snapshot before the warm rerun
+        assert calls == [public]
+        # Online point_adds are cache-warmth independent: the warm rerun
+        # (memoized tables, no builds) ticks the exact same delta.
+        with counting() as warm:
+            assert ed.verify_batch(lanes) == [True] * len(lanes)
+        assert warm.delta()["crypto.ed25519.point_adds"] == \
+            cold_delta["crypto.ed25519.point_adds"]
+
+
+class TestEd25519Msm:
+    """The Pippenger bucket-MSM path above the lane crossover."""
+
+    def test_msm_matches_straus_and_scalar(self, ed_batch, monkeypatch):
+        items = [list(lane) for lane in ed_batch[:16]]
+        items[3][2] = bytes(64)                       # invalid lane
+        items[8][1] = b"tampered message"
+        items = [tuple(lane) for lane in items]
+        scalar = [ed.verify(*lane) for lane in items]
+        assert scalar.count(False) == 2
+        monkeypatch.setattr(ed, "_MSM_LANES", 10 ** 9)
+        straus = ed.verify_batch(items)
+        monkeypatch.setattr(ed, "_MSM_LANES", 2)
+        msm = ed.verify_batch(items)
+        assert msm == straus == scalar
+
+    def test_msm_counters(self, ed_batch, monkeypatch):
+        monkeypatch.setattr(ed, "_MSM_LANES", 2)
+        with counting() as window:
+            assert ed.verify_batch(ed_batch[:8]) == [True] * 8
+        delta = window.delta()
+        # One combined chain: the base point plus -R_i and -A_i per lane.
+        assert delta["crypto.ed25519.msm_points"] == 17
+        assert delta["crypto.ed25519.msm_point_adds"] > 0
+        assert delta["crypto.ed25519.msm_doublings"] > 0
+        # Below the crossover the Straus chain carries no msm_* events.
+        monkeypatch.setattr(ed, "_MSM_LANES", 10 ** 9)
+        with counting() as window:
+            assert ed.verify_batch(ed_batch[:8]) == [True] * 8
+        assert "crypto.ed25519.msm_points" not in window.delta()
+
 
 class TestKeccakBatch:
 
@@ -232,11 +312,19 @@ class TestKeccakBatch:
             assert out[row].tolist() == kc.keccak_f1600_reference(
                 [int(lane) for lane in states[row]])
 
-    def test_ragged_batch_rejected(self):
-        with pytest.raises(ValueError):
-            kc.sha3_256_many([b"a", b"bb"])
-        with pytest.raises(ValueError):
-            kc.pure_shake256_many([b"a", b"bb"], 32)
+    def test_ragged_batch_parity(self):
+        # Mixed lengths bucket by padded block count; results and the
+        # permutation counter match the scalar loop exactly.
+        msgs = [b"a", b"bb" * 100, b"", b"x" * 136, b"y" * 135,
+                b"z" * 137, b"w" * 500]
+        assert kc.sha3_256_many(msgs) == [kc.sha3_256(m) for m in msgs]
+        assert kc.pure_shake256_many(msgs, 32) == \
+            [kc.pure_shake256(m, 32) for m in msgs]
+        with counting() as window:
+            kc.pure_sha3_512_many(msgs)
+        rate = 72  # sha3-512 rate bytes
+        expected = sum(len(m) // rate + 1 for m in msgs)
+        assert window.delta()["crypto.keccak.permutations"] == expected
 
     def test_empty_batch(self):
         assert kc.pure_sha3_256_many([]) == []
@@ -413,24 +501,33 @@ class TestConsumers:
             [device.sign_post_quantum(m) for m in messages]
 
 
-def test_batch_counters_render_and_parse_roundtrip():
+def test_batch_counters_render_and_parse_roundtrip(monkeypatch):
     """The new PERF counters must survive the exposition round trip
     (rendered by ``scripts/obs_export.py``, re-parsed strictly)."""
     scheme = MLDSA(ML_DSA_44)
     public, secret = scheme.key_gen(b"\x42" * 32)
+    monkeypatch.setattr(ed, "_MSM_LANES", 2)   # force the MSM path
     with counting() as window:
         signatures = scheme.sign_many(secret, _messages(2))
         scheme.verify_many(public, _messages(2), signatures)
-        seed = b"\x09" * 32
-        message = b"expose"
-        ed.verify_batch([(ed.public_key(seed), message,
-                          ed.sign(seed, message))])
+        # Two lanes: a batch of one short-circuits to the scalar
+        # verifier and would not tick the batch counters.
+        lanes = []
+        for i in (9, 10):
+            seed = bytes([i]) * 32
+            message = b"expose-%d" % i
+            lanes.append((ed.public_key(seed), message,
+                          ed.sign(seed, message)))
+        ed.verify_batch(lanes)
         DigitalCimMacro([1, 2]).query_fresh_many(
             np.zeros((3, 2), dtype=np.int64))
     delta = window.delta()
     for counter in ("crypto.mldsa.batch_sign_lanes",
                     "crypto.mldsa.batch_verify_lanes",
                     "crypto.ed25519.batch_verifies",
+                    "crypto.ed25519.msm_points",
+                    "crypto.ed25519.msm_point_adds",
+                    "crypto.ed25519.msm_doublings",
                     "cim.traces_vectorized"):
         assert delta[counter] > 0, counter
     families = parse_exposition(render(perf=dict(delta)))
@@ -438,5 +535,6 @@ def test_batch_counters_render_and_parse_roundtrip():
               families["repro_perf_events_total"]}
     assert events["crypto.mldsa.batch_sign_lanes"] == 2.0
     assert events["crypto.mldsa.batch_verify_lanes"] == 2.0
-    assert events["crypto.ed25519.batch_verifies"] == 1.0
+    assert events["crypto.ed25519.batch_verifies"] == 2.0
+    assert events["crypto.ed25519.msm_points"] == 5.0
     assert events["cim.traces_vectorized"] == 2.0

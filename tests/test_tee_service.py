@@ -1,0 +1,289 @@
+"""Attestation-service suites: deterministic micro-batching, the
+enclave-session cache, and serial-vs-parallel byte parity.
+
+The session-cache tests mirror ``TestBootMemo`` in
+``test_crypto_fastpaths.py``: hits must replay identical bytes and
+identical PERF deltas, armed fault injection and live telemetry
+subscribers must bypass the cache entirely, and a changed verification
+policy (measurement pin) must miss.  The parity tests pin the
+acceptance contract of the service: results, audit ledger and PERF
+counters byte-identical between a serial drain and a sharded one.
+"""
+
+import pytest
+
+from repro.crypto import ed25519 as ed
+from repro.faults.injector import FAULTS, FaultSpec
+from repro.faults.models import BIT_FLIP
+from repro.obs import TELEMETRY
+from repro.obs.audit import AUDIT, canonical_encode, verify_records
+from repro.obs.exposition import parse_exposition, render
+from repro.obs.perf import PERF, counting
+from repro.tee import AttestationService, build_tee, verify_report
+from repro.tee.attestation import AttestationReport
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two devices (one hybrid-PQ, one classical), their enclaves and
+    a pool of encoded attestation requests."""
+    pq = build_tee(b"service-pq-device-root-secret-00", post_quantum=True)
+    cl = build_tee(b"service-cl-device-root-secret-00",
+                   post_quantum=False)
+    pq_enclave = pq.sm.create_enclave(b"pq-enclave-image")
+    cl_enclave = cl.sm.create_enclave(b"cl-enclave-image")
+    pq_reports = pq.sm.attestation_requests(
+        [pq_enclave] * 3, [b"pq-%d" % i for i in range(3)])
+    cl_reports = cl.sm.attestation_requests(
+        [cl_enclave] * 3, [b"cl-%d" % i for i in range(3)])
+    return {
+        "pq": pq, "cl": cl,
+        "pq_enclave": pq_enclave, "cl_enclave": cl_enclave,
+        "pq_reports": pq_reports, "cl_reports": cl_reports,
+        "devices": {"pq0": pq.device.public_identity(),
+                    "cl0": cl.device.public_identity()},
+    }
+
+
+def _service(fleet, **kwargs):
+    return AttestationService(dict(fleet["devices"]), **kwargs)
+
+
+def _verdict_bytes(results):
+    """Canonical bytes of the verification outcome, without the
+    admission sequence numbers (those increase monotonically across
+    drains by design)."""
+    return canonical_encode([{k: v for k, v in r.items() if k != "seq"}
+                             for r in results])
+
+
+class TestMicroBatchQueue:
+
+    def test_size_flush(self, fleet):
+        svc = _service(fleet, max_batch=2)
+        svc.submit("cl0", fleet["cl_reports"][0])
+        assert svc.sealed_count() == 0 and svc.pending_count() == 1
+        svc.submit("cl0", fleet["cl_reports"][1])
+        assert svc.sealed_count() == 1 and svc.pending_count() == 0
+
+    def test_deadline_flush(self, fleet):
+        svc = _service(fleet, max_batch=100, deadline_ticks=3)
+        svc.tick(10)                       # empty ticks never seal
+        assert svc.sealed_count() == 0
+        svc.submit("cl0", fleet["cl_reports"][0])
+        svc.tick(2)
+        assert svc.sealed_count() == 0     # younger than the deadline
+        svc.tick(1)
+        assert svc.sealed_count() == 1 and svc.pending_count() == 0
+
+    def test_results_in_admission_order(self, fleet):
+        svc = _service(fleet, max_batch=3)
+        tampered = bytearray(fleet["cl_reports"][0])
+        tampered[-1] ^= 0xFF               # break the device signature
+        submissions = [
+            ("pq0", fleet["pq_reports"][0]),
+            ("cl0", fleet["cl_reports"][0]),
+            ("ghost", fleet["cl_reports"][0]),    # unregistered
+            ("cl0", bytes(tampered)),
+            ("cl0", b"\x00" * 17),                # malformed
+            ("pq0", fleet["pq_reports"][1]),
+        ]
+        results = svc.process(submissions, jobs=1)
+        assert [r["seq"] for r in results] == list(range(6))
+        assert [r["ok"] for r in results] == \
+            [True, True, False, False, False, True]
+        assert all(bool(r["session"]) == r["ok"] for r in results)
+
+    def test_empty_drain(self, fleet):
+        assert _service(fleet).drain() == []
+
+    def test_cross_device_batch_matches_scalar_verifier(self, fleet):
+        """One flushed batch mixing PQ and classical devices agrees
+        lane-for-lane with the scalar ``verify_report`` chain."""
+        svc = _service(fleet, max_batch=6)
+        submissions = [("pq0", r) for r in fleet["pq_reports"]] + \
+                      [("cl0", r) for r in fleet["cl_reports"]]
+        results = svc.process(submissions, jobs=1)
+        for (device, blob), got in zip(submissions, results):
+            report = AttestationReport.decode(blob)
+            assert got["ok"] == verify_report(
+                report, fleet["devices"][device])
+            assert got["ok"] is True
+
+
+class TestSessionCache:
+
+    def test_hit_is_byte_identical(self, fleet):
+        svc = _service(fleet)
+        first = svc.process([("pq0", fleet["pq_reports"][0])], jobs=1)
+        second = svc.process([("pq0", fleet["pq_reports"][0])], jobs=1)
+        assert _verdict_bytes(second) == _verdict_bytes(first)
+        assert svc.cache_stats()["hits"] == 1
+        assert svc.cache_stats()["misses"] == 1
+
+    def test_hit_replays_perf_delta(self, fleet):
+        svc = _service(fleet)
+        request = [("pq0", fleet["pq_reports"][1])]
+        with counting() as cold:
+            svc.process(request, jobs=1)
+        cold_delta = cold.delta()
+        with counting() as warm:
+            svc.process(request, jobs=1)
+        warm_delta = warm.delta()
+        assert cold_delta["tee.service.verified"] == 1
+        assert cold_delta["crypto.mldsa.verify"] > 0
+        assert warm_delta == cold_delta
+
+    def test_active_telemetry_bypasses_cache(self, fleet):
+        svc = _service(fleet)
+        request = [("cl0", fleet["cl_reports"][0])]
+        clean = svc.process(request, jobs=1)    # warm the cache
+        hits_before = svc.cache_stats()["hits"]
+        was_enabled = TELEMETRY.enabled
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        try:
+            traced = svc.process(request, jobs=1)
+            names = {record["name"]
+                     for record in TELEMETRY.tracer.snapshot()}
+        finally:
+            TELEMETRY.reset()
+            TELEMETRY.enabled = was_enabled
+        # Subscribed runs verify for real — timed spans cannot be
+        # replayed from the cache — yet mint identical bytes.
+        assert "tee.service.batch" in names
+        assert "crypto.ed25519.verify_batch" in names
+        assert _verdict_bytes(traced) == _verdict_bytes(clean)
+        assert svc.cache_stats()["hits"] == hits_before
+
+    def test_armed_faults_bypass_cache(self, fleet):
+        svc = _service(fleet)
+        request = [("cl0", fleet["cl_reports"][1])]
+        clean = svc.process(request, jobs=1)    # warm the cache
+        stats_before = svc.cache_stats()
+        FAULTS.arm(FaultSpec("tee.bootrom.measure", BIT_FLIP, bit=0))
+        try:
+            armed = svc.process(request, jobs=1)
+        finally:
+            FAULTS.disarm()
+        # The armed drain must neither consult nor repopulate the
+        # cache; no corruption site fires in verification, so the
+        # verdict bytes still match.
+        assert _verdict_bytes(armed) == _verdict_bytes(clean)
+        stats_after = svc.cache_stats()
+        assert stats_after["hits"] == stats_before["hits"]
+        assert stats_after["misses"] == stats_before["misses"]
+
+    def test_measurement_mismatch_misses(self, fleet):
+        svc = _service(fleet)
+        report = fleet["cl_reports"][2]
+        good_hash = AttestationReport.decode(report).enclave_hash
+        trusted = svc.process([("cl0", report, good_hash)], jobs=1)
+        assert trusted[0]["ok"] is True
+        # Same report under a different pin: the content address
+        # changes, so the cached session must NOT be served.
+        wrong_hash = bytes(64)
+        pinned = svc.process([("cl0", report, wrong_hash)], jobs=1)
+        assert pinned[0]["ok"] is False
+        assert pinned[0]["session"] == ""
+        # ...and matches the uncached scalar verifier's refusal.
+        assert verify_report(AttestationReport.decode(report),
+                             fleet["devices"]["cl0"],
+                             expected_enclave_hash=wrong_hash) is False
+
+    def test_sm_hash_pin_mismatch_rejects(self, fleet):
+        svc = AttestationService()
+        svc.register_device("cl0", fleet["devices"]["cl0"],
+                            expected_sm_hash=bytes(64))
+        rejected = svc.process([("cl0", fleet["cl_reports"][0])],
+                               jobs=1)
+        assert rejected[0]["ok"] is False
+
+    def test_uncached_service_is_byte_identical(self, fleet):
+        submissions = [("pq0", fleet["pq_reports"][0]),
+                       ("cl0", fleet["cl_reports"][0]),
+                       ("pq0", fleet["pq_reports"][0])]
+        cached = _service(fleet).process(list(submissions), jobs=1)
+        uncached = _service(fleet, session_cache=False).process(
+            list(submissions), jobs=1)
+        assert canonical_encode(uncached) == canonical_encode(cached)
+
+
+class TestServiceParity:
+
+    def _run(self, fleet, jobs):
+        """One full service run under a fresh audit ledger; returns
+        (results bytes, audit bytes, perf delta sans runtime.*)."""
+        tampered = bytearray(fleet["pq_reports"][2])
+        tampered[100] ^= 0x01
+        submissions = ([("pq0", r) for r in fleet["pq_reports"]]
+                       + [("cl0", r) for r in fleet["cl_reports"]]
+                       + [("pq0", bytes(tampered)),
+                          ("ghost", fleet["cl_reports"][0]),
+                          ("cl0", fleet["cl_reports"][0]),
+                          ("pq0", fleet["pq_reports"][0])])
+        svc = _service(fleet, max_batch=3)
+        was_audit = AUDIT.enabled
+        AUDIT.reset()
+        AUDIT.enable()
+        try:
+            with counting() as window:
+                results = svc.process(submissions, jobs=jobs)
+            audit_blob = canonical_encode(AUDIT.export_records())
+        finally:
+            AUDIT.reset()
+            AUDIT.enabled = was_audit
+        # runtime.pools/runtime.shards only tick when a pool actually
+        # spins up — the one sanctioned serial/parallel difference.
+        delta = {k: v for k, v in sorted(window.delta().items())
+                 if not k.startswith("runtime.")}
+        return canonical_encode(results), audit_blob, delta
+
+    def test_serial_vs_sharded_byte_identical(self, fleet):
+        serial_results, serial_audit, serial_delta = self._run(fleet, 1)
+        sharded_results, sharded_audit, sharded_delta = \
+            self._run(fleet, 2)
+        assert sharded_results == serial_results
+        assert sharded_audit == serial_audit
+        assert sharded_delta == serial_delta
+
+    def test_audit_stream_contents(self, fleet):
+        svc = _service(fleet, max_batch=2)
+        was_audit = AUDIT.enabled
+        AUDIT.reset()
+        AUDIT.enable()
+        try:
+            svc.process([("cl0", fleet["cl_reports"][0]),
+                         ("ghost", fleet["cl_reports"][0])], jobs=1)
+            records = AUDIT.export_records()
+        finally:
+            AUDIT.reset()
+            AUDIT.enabled = was_audit
+        kinds = [r["kind"] for r in records if "kind" in r]
+        assert "batch-verified" in kinds
+        assert "request-rejected" in kinds
+        rejected = next(r for r in records
+                        if r.get("kind") == "request-rejected")
+        assert rejected["detail"]["reason"] == "unknown-device"
+        assert rejected["severity"] == "warning"
+        # The exported ledger chain-verifies end to end.
+        verify_records(records)
+
+
+def test_service_counters_render_and_parse_roundtrip(fleet):
+    """``tee.service.*`` counters survive the exposition round trip."""
+    svc = _service(fleet, max_batch=2)
+    with counting() as window:
+        svc.process([("pq0", fleet["pq_reports"][0]),
+                     ("cl0", fleet["cl_reports"][0]),
+                     ("ghost", fleet["cl_reports"][0])], jobs=1)
+    delta = window.delta()
+    families = parse_exposition(render(perf=dict(delta)))
+    events = {labels["event"]: value for labels, value in
+              families["repro_perf_events_total"]}
+    assert events["tee.service.requests"] == 3.0
+    assert events["tee.service.batches"] == 2.0
+    assert events["tee.service.flush_size"] == 1.0
+    assert events["tee.service.flush_drain"] == 1.0
+    assert events["tee.service.verified"] == 2.0
+    assert events["tee.service.rejected"] == 1.0
